@@ -1,0 +1,52 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark module regenerates one table or figure of the paper through
+the drivers in :mod:`repro.experiments`, prints the reproduced series,
+writes it under ``benchmarks/results/`` and asserts the qualitative claim
+the paper makes about it.  The ``benchmark`` fixture additionally times a
+representative core operation so ``pytest-benchmark`` statistics are
+collected for each artefact.
+
+Scale is controlled by the ``REPRO_BENCH_SCALE`` environment variable
+(``tiny`` by default so the whole suite completes in a few minutes; use
+``small`` or ``medium`` to approach the shapes reported in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import run_experiment
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Benchmark scale; see repro.experiments.harness.SCALES.
+BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "tiny")
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    """The scale name every benchmark should run its experiment at."""
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def experiment_runner():
+    """Run an experiment once per session and persist its rendered table."""
+    cache = {}
+
+    def run(experiment_id: str):
+        if experiment_id not in cache:
+            result = run_experiment(experiment_id, scale=BENCH_SCALE)
+            RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+            path = RESULTS_DIR / f"{experiment_id}.txt"
+            path.write_text(result.to_text() + "\n", encoding="utf-8")
+            print()
+            print(result.to_text())
+            cache[experiment_id] = result
+        return cache[experiment_id]
+
+    return run

@@ -1,0 +1,52 @@
+"""Figure 11 — REUSE vs NO-REUSE exact Voronoi-cell computations in NM-CIJ."""
+
+from repro.datasets.synthetic import uniform_points
+from repro.datasets.workload import WorkloadConfig, build_workload
+from repro.join.nm_cij import nm_cij
+
+
+def test_fig11_reuse_of_voronoi_cells(benchmark, experiment_runner):
+    vs_datasize = experiment_runner("fig11a")
+    vs_ratio = experiment_runner("fig11b")
+
+    def grouped(rows):
+        table = {}
+        for key, variant, computed, reused, size_p in rows:
+            table.setdefault(key, {})[variant] = (computed, reused, size_p)
+        return table
+
+    for table in (grouped(vs_datasize.rows), grouped(vs_ratio.rows)):
+        for key, variants in table.items():
+            computed_reuse, reused, size_p = variants["REUSE"]
+            computed_plain, reused_plain, _ = variants["NO-REUSE"]
+            # REUSE never increases the number of exact cells computed and
+            # actually reuses buffered cells; NO-REUSE reuses nothing.
+            assert computed_reuse <= computed_plain
+            assert reused > 0
+            assert reused_plain == 0
+            # Every candidate's cell is computed at least once, so both
+            # variants are bounded below by |P| coverage of the join.
+            assert computed_plain >= size_p
+
+    # The REUSE benefit on redundant computations (the excess over |P|)
+    # should be substantial at the largest datasize (paper: ~50%).
+    table = grouped(vs_datasize.rows)
+    largest = max(table)
+    computed_reuse, _, size_p = table[largest]["REUSE"]
+    computed_plain, _, _ = table[largest]["NO-REUSE"]
+    redundant_reuse = computed_reuse - size_p
+    redundant_plain = computed_plain - size_p
+    if redundant_plain > 0:
+        assert redundant_reuse <= 0.8 * redundant_plain
+
+    # Benchmark the REUSE configuration end to end.
+    points_p = uniform_points(250, seed=11)
+    points_q = uniform_points(250, seed=21)
+
+    def run_reuse():
+        workload = build_workload(
+            WorkloadConfig(buffer_fraction=0.02), points_p=points_p, points_q=points_q
+        )
+        return nm_cij(workload.tree_p, workload.tree_q, domain=workload.domain, reuse_cells=True)
+
+    benchmark(run_reuse)

@@ -1,0 +1,20 @@
+"""Figure 5 — BF-VOR vs TP-VOR cost of individual Voronoi-cell queries."""
+
+from repro.datasets.synthetic import DOMAIN, uniform_points
+from repro.datasets.workload import build_indexed_pointset
+from repro.storage.disk import DiskManager
+from repro.voronoi.single import compute_voronoi_cell
+
+
+def test_fig5_single_cell_queries(benchmark, experiment_runner):
+    result = experiment_runner("fig5")
+    rows = {row[0]: row for row in result.rows}
+    # Paper claim: BF-VOR needs clearly fewer node accesses than TP-VOR and
+    # is more stable across query instances.
+    assert rows["BF-VOR"][2] < rows["TP-VOR"][2]
+    assert rows["BF-VOR"][3] <= rows["TP-VOR"][3]
+
+    # Benchmark the core operation: one exact BF-VOR cell computation.
+    points = uniform_points(600, seed=5)
+    tree = build_indexed_pointset(DiskManager(), "RP", points, domain=DOMAIN)
+    benchmark(lambda: compute_voronoi_cell(tree, points[123], DOMAIN, site_oid=123))

@@ -1,0 +1,26 @@
+"""Figure 6 — Voronoi diagram construction (ITER vs BATCH vs LB) vs datasize."""
+
+from repro.datasets.synthetic import DOMAIN, uniform_points
+from repro.datasets.workload import build_indexed_pointset
+from repro.storage.disk import DiskManager
+from repro.voronoi.diagram import compute_voronoi_diagram
+
+
+def test_fig6_diagram_scaling(benchmark, experiment_runner):
+    result = experiment_runner("fig6")
+    by_size = {}
+    for datasize, method, pages, cpu in result.rows:
+        by_size.setdefault(datasize, {})[method] = (pages, cpu)
+    for datasize, methods in by_size.items():
+        # Paper claims: both index-driven builders stay close to LB in I/O,
+        # and BATCH never does worse than ITER.
+        assert methods["LB"][0] <= methods["BATCH"][0] <= methods["ITER"][0]
+    largest = max(by_size)
+    # CPU gap (BATCH faster) widens with datasize; at the largest size the
+    # ordering must hold.
+    assert by_size[largest]["BATCH"][1] <= by_size[largest]["ITER"][1] * 1.5
+
+    # Benchmark: BATCH diagram construction on a fixed-size input.
+    points = uniform_points(400, seed=6)
+    tree = build_indexed_pointset(DiskManager(), "RP", points, domain=DOMAIN)
+    benchmark(lambda: compute_voronoi_diagram(tree, DOMAIN, strategy="batch"))

@@ -1,0 +1,64 @@
+"""Figure 8 — effect of the LRU buffer size (a) and of the datasize (b)."""
+
+from repro.datasets.synthetic import uniform_points
+from repro.datasets.workload import WorkloadConfig, build_workload
+from repro.join.pm_cij import pm_cij
+
+
+def test_fig8a_buffer_effect(benchmark, experiment_runner):
+    result = experiment_runner("fig8a")
+    series = {}
+    for buffer_pct, algorithm, pages in result.rows:
+        series.setdefault(algorithm, {})[buffer_pct] = pages
+    fractions = sorted(series["NM-CIJ"])
+    # NM-CIJ is the cheapest algorithm at every buffer size and approaches
+    # the lower bound as the buffer grows.
+    for fraction in fractions:
+        assert series["NM-CIJ"][fraction] <= series["PM-CIJ"][fraction]
+        assert series["PM-CIJ"][fraction] <= series["FM-CIJ"][fraction]
+        assert series["LB"][fraction] <= series["NM-CIJ"][fraction]
+    # A larger buffer never hurts any algorithm (within a small tolerance
+    # for LRU boundary effects at tiny buffer sizes).
+    for algorithm in ("FM-CIJ", "PM-CIJ", "NM-CIJ"):
+        assert series[algorithm][fractions[-1]] <= series[algorithm][fractions[0]]
+    # The paper reports NM-CIJ converging to ~1.3x LB at a 2% buffer of a
+    # 100K-point workload; at this reduced scale a leaf neighbourhood covers
+    # a much larger fraction of the tiny trees, so the gap to LB is wider.
+    # The reproducible claim is the ordering above plus buffer monotonicity.
+
+    # Benchmark the storage substrate this figure exercises: a full LRU
+    # buffer sweep over a synthetic page-access trace.
+    from repro.storage.buffer import LRUBuffer
+
+    trace = [page % 97 for page in range(5000)]
+
+    def replay_trace():
+        buffer = LRUBuffer(32)
+        return sum(1 for page in trace if buffer.access(page))
+
+    benchmark(replay_trace)
+
+
+def test_fig8b_scalability(benchmark, experiment_runner):
+    result = experiment_runner("fig8b")
+    series = {}
+    for datasize, algorithm, pages in result.rows:
+        series.setdefault(algorithm, {})[datasize] = pages
+    sizes = sorted(series["NM-CIJ"])
+    for n in sizes:
+        assert series["LB"][n] <= series["NM-CIJ"][n] <= series["PM-CIJ"][n] <= series["FM-CIJ"][n]
+    # Costs grow with the datasize for every algorithm.
+    for algorithm in ("FM-CIJ", "PM-CIJ", "NM-CIJ", "LB"):
+        assert series[algorithm][sizes[0]] < series[algorithm][sizes[-1]]
+
+    # Benchmark PM-CIJ (the intermediate algorithm) at a fixed size.
+    points_p = uniform_points(250, seed=8)
+    points_q = uniform_points(250, seed=18)
+
+    def run_pm():
+        workload = build_workload(
+            WorkloadConfig(buffer_fraction=0.02), points_p=points_p, points_q=points_q
+        )
+        return pm_cij(workload.tree_p, workload.tree_q, domain=workload.domain)
+
+    benchmark(run_pm)

@@ -1,0 +1,25 @@
+"""Table II — BatchVoronoi on the five (stand-in) real datasets."""
+
+from repro.datasets.real_like import real_like_dataset
+from repro.datasets.synthetic import DOMAIN
+from repro.datasets.workload import build_indexed_pointset
+from repro.storage.disk import DiskManager
+from repro.voronoi.diagram import compute_voronoi_diagram
+
+
+def test_table2_batch_on_real_datasets(benchmark, experiment_runner):
+    result = experiment_runner("table2")
+    datasets = {row[0] for row in result.rows}
+    assert datasets == {"PP", "SC", "CE", "LO", "PA"}
+    for name, cardinality, pages, cpu, lb in result.rows:
+        # BATCH is I/O-efficient on every dataset: within a small factor of
+        # the lower bound of scanning the source tree once.
+        assert pages >= lb
+        assert pages <= 12 * lb
+    # The smallest dataset (PA) must also be the cheapest in absolute I/O.
+    by_name = {row[0]: row for row in result.rows}
+    assert by_name["PA"][2] <= by_name["PP"][2]
+
+    points = real_like_dataset("PA", scale=600)
+    tree = build_indexed_pointset(DiskManager(), "RP", points, domain=DOMAIN)
+    benchmark(lambda: compute_voronoi_diagram(tree, DOMAIN, strategy="batch"))

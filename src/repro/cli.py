@@ -1,0 +1,120 @@
+"""Command-line interface: run paper experiments and ad-hoc joins.
+
+Examples
+--------
+List the available experiments::
+
+    python -m repro.cli list
+
+Reproduce Figure 7 at the default (small) scale::
+
+    python -m repro.cli run fig7
+
+Run every experiment at the tiny scale and write a markdown report::
+
+    python -m repro.cli run-all --scale tiny --markdown report.md
+
+Join two uniform pointsets with NM-CIJ::
+
+    python -m repro.cli join --n-p 500 --n-q 500 --method nm
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro import common_influence_join, uniform_points
+from repro.experiments import list_experiments, run_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="cij",
+        description="Common Influence Join (CIJ) reproduction — experiments and joins",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the available experiments")
+
+    run = subparsers.add_parser("run", help="run one experiment and print its table")
+    run.add_argument("experiment", help="experiment id, e.g. fig7 or table3")
+    run.add_argument("--scale", default="small", help="tiny | small | medium | large")
+
+    run_all = subparsers.add_parser("run-all", help="run every registered experiment")
+    run_all.add_argument("--scale", default="small", help="tiny | small | medium | large")
+    run_all.add_argument(
+        "--markdown", default=None, help="also write a markdown report to this path"
+    )
+
+    join = subparsers.add_parser("join", help="run a CIJ on synthetic pointsets")
+    join.add_argument("--n-p", type=int, default=500, help="points in P")
+    join.add_argument("--n-q", type=int, default=500, help="points in Q")
+    join.add_argument("--seed", type=int, default=0, help="random seed")
+    join.add_argument("--method", default="nm", choices=("nm", "pm", "fm"), help="algorithm")
+    return parser
+
+
+def _cmd_list() -> int:
+    for experiment_id in list_experiments():
+        print(experiment_id)
+    return 0
+
+
+def _cmd_run(experiment: str, scale: str) -> int:
+    result = run_experiment(experiment, scale=scale)
+    print(result.to_text())
+    return 0
+
+
+def _cmd_run_all(scale: str, markdown: Optional[str]) -> int:
+    sections = []
+    for experiment_id in list_experiments():
+        start = time.perf_counter()
+        result = run_experiment(experiment_id, scale=scale)
+        elapsed = time.perf_counter() - start
+        print(result.to_text())
+        print(f"[{experiment_id} completed in {elapsed:.1f}s]\n")
+        sections.append(result.to_markdown())
+    if markdown:
+        with open(markdown, "w", encoding="utf-8") as handle:
+            handle.write("\n\n".join(sections) + "\n")
+        print(f"markdown report written to {markdown}")
+    return 0
+
+
+def _cmd_join(n_p: int, n_q: int, seed: int, method: str) -> int:
+    points_p = uniform_points(n_p, seed=seed)
+    points_q = uniform_points(n_q, seed=seed + 10_000)
+    result = common_influence_join(points_p, points_q, method=method)
+    stats = result.stats
+    print(f"algorithm       : {stats.algorithm}")
+    print(f"result pairs    : {len(result.pairs)}")
+    print(f"page accesses   : {stats.total_page_accesses} (MAT {stats.mat_page_accesses} + JOIN {stats.join_page_accesses})")
+    print(f"CPU seconds     : {stats.total_cpu_seconds:.2f}")
+    if stats.filter_candidates:
+        print(f"false hit ratio : {stats.false_hit_ratio:.3f}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point used by both ``python -m repro.cli`` and the ``cij`` script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args.experiment, args.scale)
+    if args.command == "run-all":
+        return _cmd_run_all(args.scale, args.markdown)
+    if args.command == "join":
+        return _cmd_join(args.n_p, args.n_q, args.seed, args.method)
+    parser.error(f"unhandled command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""Dataset generators and the workload registry used by the experiments.
+
+The paper evaluates on uniform synthetic pointsets and on five real
+geographic datasets from the U.S. Board on Geographic Names.  The real data
+cannot be redistributed or downloaded here, so :mod:`repro.datasets.real_like`
+provides seeded synthetic stand-ins whose spatial skew (multi-cluster,
+heavy-tailed cluster sizes) mimics the characteristics that matter for the
+experiments: large variation in adjacent Voronoi-cell areas and join output
+sizes comparable to the input size.  All generators normalise coordinates to
+the paper's ``[0, 10000]`` domain.
+"""
+
+from repro.datasets.synthetic import (
+    DOMAIN,
+    clustered_points,
+    gaussian_points,
+    uniform_points,
+)
+from repro.datasets.real_like import REAL_DATASET_SPECS, real_like_dataset
+from repro.datasets.workload import (
+    WorkloadConfig,
+    build_indexed_pointset,
+    build_workload,
+)
+
+__all__ = [
+    "DOMAIN",
+    "uniform_points",
+    "gaussian_points",
+    "clustered_points",
+    "real_like_dataset",
+    "REAL_DATASET_SPECS",
+    "WorkloadConfig",
+    "build_workload",
+    "build_indexed_pointset",
+]

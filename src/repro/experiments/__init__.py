@@ -1,0 +1,25 @@
+"""Experiment drivers that regenerate every table and figure of the paper.
+
+Each driver builds its workload, runs the algorithms involved, and returns
+an :class:`~repro.experiments.harness.ExperimentResult` whose rows mirror
+the series plotted in the paper (page accesses, CPU time, false-hit ratios,
+…).  The benchmark suite under ``benchmarks/`` and the CLI
+(``python -m repro.cli``) both call these drivers; ``EXPERIMENTS.md`` records
+their output next to the paper's reported numbers.
+
+Sizes are controlled by :class:`~repro.experiments.harness.ExperimentScale`
+because a pure-Python reimplementation cannot run the paper's 100K–800K
+point joins in interactive time; the scale keeps the paper's ratios (page
+capacity, buffer fraction, cardinality ratios) while shrinking cardinality.
+"""
+
+from repro.experiments.harness import ExperimentResult, ExperimentScale, list_experiments, run_experiment
+from repro.experiments.reporting import format_table
+
+__all__ = [
+    "ExperimentResult",
+    "ExperimentScale",
+    "run_experiment",
+    "list_experiments",
+    "format_table",
+]

@@ -1,0 +1,8 @@
+"""Experiment driver modules (imported for their registration side effects)."""
+
+from repro.experiments.drivers import (  # noqa: F401
+    ablation_experiments,
+    cij_experiments,
+    filter_experiments,
+    voronoi_experiments,
+)

@@ -1,0 +1,112 @@
+"""Drivers for the NM-CIJ filter-quality experiments.
+
+* ``fig10a`` / ``fig10b`` — false-hit ratio of the ConditionalFilter step
+  against datasize and cardinality ratio.
+* ``fig11a`` / ``fig11b`` — exact Voronoi cells of P computed with and
+  without the REUSE buffer, against datasize and cardinality ratio.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.drivers.common import (
+    ratio_cardinalities,
+    run_cij,
+    uniform_pair,
+)
+from repro.experiments.harness import ExperimentResult, ExperimentScale, register
+
+_RATIOS = (("1:4", (1, 4)), ("1:2", (1, 2)), ("1:1", (1, 1)), ("2:1", (2, 1)), ("4:1", (4, 1)))
+
+
+@register("fig10a")
+def fig10a_false_hit_ratio_vs_datasize(scale: ExperimentScale) -> ExperimentResult:
+    """Figure 10a: false-hit ratio of the filter step vs datasize."""
+    result = ExperimentResult(
+        experiment_id="fig10a",
+        title="False-hit ratio of the NM-CIJ filter step vs datasize",
+        paper_reference="Figure 10a, |P|=|Q|=n uniform",
+        columns=["datasize", "candidates (Σ s_i)", "true hits (Σ s'_i)", "false hit ratio"],
+    )
+    for n in scale.sweep_cardinalities:
+        points_p, points_q = uniform_pair(n, seed=10)
+        run = run_cij("NM-CIJ", points_p, points_q)
+        result.add_row(
+            n,
+            run.stats.filter_candidates,
+            run.stats.filter_true_hits,
+            run.stats.false_hit_ratio,
+        )
+    result.add_note("The paper reports FHR well below 0.1 and insensitive to datasize.")
+    return result
+
+
+@register("fig10b")
+def fig10b_false_hit_ratio_vs_ratio(scale: ExperimentScale) -> ExperimentResult:
+    """Figure 10b: false-hit ratio of the filter step vs cardinality ratio."""
+    result = ExperimentResult(
+        experiment_id="fig10b",
+        title="False-hit ratio of the NM-CIJ filter step vs |Q|:|P|",
+        paper_reference="Figure 10b, |P|+|Q| constant",
+        columns=["ratio |Q|:|P|", "candidates (Σ s_i)", "true hits (Σ s'_i)", "false hit ratio"],
+    )
+    total = 2 * scale.base_cardinality
+    for label, ratio in _RATIOS:
+        n_p, n_q = ratio_cardinalities(total, ratio)
+        points_p, points_q = uniform_pair(n_p, n_q, seed=10)
+        run = run_cij("NM-CIJ", points_p, points_q)
+        result.add_row(
+            label,
+            run.stats.filter_candidates,
+            run.stats.filter_true_hits,
+            run.stats.false_hit_ratio,
+        )
+    result.add_note(
+        "FHR is largest for small |Q|:|P| (large P, many points near cell borders) "
+        "but stays below ~0.1 in the paper."
+    )
+    return result
+
+
+@register("fig11a")
+def fig11a_reuse_vs_datasize(scale: ExperimentScale) -> ExperimentResult:
+    """Figure 11a: cells of P computed, REUSE vs NO-REUSE, vs datasize."""
+    result = ExperimentResult(
+        experiment_id="fig11a",
+        title="Exact Voronoi cells of P computed by NM-CIJ (REUSE vs NO-REUSE)",
+        paper_reference="Figure 11a, |P|=|Q|=n uniform",
+        columns=["datasize", "variant", "cells computed", "cells reused", "|P|"],
+    )
+    for n in scale.sweep_cardinalities:
+        points_p, points_q = uniform_pair(n, seed=11)
+        for variant, reuse in (("NO-REUSE", False), ("REUSE", True)):
+            run = run_cij("NM-CIJ", points_p, points_q, reuse_cells=reuse)
+            result.add_row(
+                n, variant, run.stats.cells_computed_p, run.stats.cells_reused_p, len(points_p)
+            )
+    result.add_note(
+        "REUSE should cut the redundant cell computations (the excess over |P|) "
+        "by roughly half on average (paper Figure 11)."
+    )
+    return result
+
+
+@register("fig11b")
+def fig11b_reuse_vs_ratio(scale: ExperimentScale) -> ExperimentResult:
+    """Figure 11b: cells of P computed, REUSE vs NO-REUSE, vs |Q|:|P|."""
+    result = ExperimentResult(
+        experiment_id="fig11b",
+        title="Exact Voronoi cells of P computed by NM-CIJ vs cardinality ratio",
+        paper_reference="Figure 11b, |P|+|Q| constant",
+        columns=["ratio |Q|:|P|", "variant", "cells computed", "cells reused", "|P|"],
+    )
+    total = 2 * scale.base_cardinality
+    for label, ratio in _RATIOS:
+        n_p, n_q = ratio_cardinalities(total, ratio)
+        points_p, points_q = uniform_pair(n_p, n_q, seed=11)
+        for variant, reuse in (("NO-REUSE", False), ("REUSE", True)):
+            run = run_cij("NM-CIJ", points_p, points_q, reuse_cells=reuse)
+            result.add_row(
+                label, variant, run.stats.cells_computed_p, run.stats.cells_reused_p, len(points_p)
+            )
+    result.add_note("The relative benefit of REUSE is insensitive to the ratio.")
+    return result

@@ -1,0 +1,50 @@
+"""Plain-text rendering of experiment results.
+
+The paper's figures are line plots and bar charts; the reproduction reports
+the same series as text tables so they can be diffed, logged by the
+benchmark harness, and pasted into ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_value(value) -> str:
+    """Render one cell: floats get 3 significant decimals, the rest ``str``."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.3f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def format_table(columns: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render rows as an aligned, pipe-separated text table."""
+    rendered_rows: List[List[str]] = [[format_value(v) for v in row] for row in rows]
+    widths = [len(c) for c in columns]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    header = " | ".join(c.ljust(widths[i]) for i, c in enumerate(columns))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append(" | ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_markdown_table(columns: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render rows as a GitHub-flavoured markdown table (for EXPERIMENTS.md)."""
+    lines = ["| " + " | ".join(columns) + " |"]
+    lines.append("|" + "|".join("---" for _ in columns) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(format_value(v) for v in row) + " |")
+    return "\n".join(lines)

@@ -1,0 +1,101 @@
+"""Halfplanes and perpendicular bisectors (Equation 1 of the paper).
+
+A Voronoi cell is the intersection of halfplanes ``⊥(p_i, p_j)`` over all
+other sites ``p_j`` (Equation 2); this module provides the halfplane
+representation and the bisector constructor used by every cell-refinement
+step in the paper's algorithms.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.geometry.point import Point
+
+
+@dataclass(frozen=True)
+class Halfplane:
+    """The closed halfplane ``a*x + b*y <= c``.
+
+    The coefficient vector ``(a, b)`` points towards the *excluded* side,
+    i.e. locations with ``a*x + b*y > c`` are outside the halfplane.
+    """
+
+    a: float
+    b: float
+    c: float
+
+    __slots__ = ("a", "b", "c")
+
+    def value(self, p: Point) -> float:
+        """Signed evaluation ``a*x + b*y - c`` (non-positive inside)."""
+        return self.a * p.x + self.b * p.y - self.c
+
+    def contains(self, p: Point, eps: float = 1e-9) -> bool:
+        """Whether ``p`` lies in the closed halfplane (with tolerance)."""
+        return self.value(p) <= eps * max(1.0, abs(self.c))
+
+    def signed_distance(self, p: Point) -> float:
+        """Euclidean signed distance of ``p`` to the boundary line.
+
+        Negative inside the halfplane, positive outside.  Raises
+        :class:`ValueError` for a degenerate (zero-normal) halfplane.
+        """
+        norm = math.hypot(self.a, self.b)
+        if norm == 0.0:
+            raise ValueError("degenerate halfplane with zero normal vector")
+        return self.value(p) / norm
+
+    def boundary_points(self, span: float = 1.0) -> Tuple[Point, Point]:
+        """Two distinct points on the boundary line, ``2*span`` apart.
+
+        Useful for plotting and for tests that need explicit boundary
+        geometry.
+        """
+        norm = math.hypot(self.a, self.b)
+        if norm == 0.0:
+            raise ValueError("degenerate halfplane with zero normal vector")
+        # Foot of the perpendicular from the origin onto the boundary.
+        fx = self.a * self.c / (norm * norm)
+        fy = self.b * self.c / (norm * norm)
+        # Unit direction along the boundary.
+        ux = -self.b / norm
+        uy = self.a / norm
+        return (
+            Point(fx - span * ux, fy - span * uy),
+            Point(fx + span * ux, fy + span * uy),
+        )
+
+
+def bisector_halfplane(p: Point, q: Point) -> Halfplane:
+    """The halfplane ``⊥_p(p, q)`` of locations closer to ``p`` than ``q``.
+
+    This is Equation 1 of the paper.  The boundary is the perpendicular
+    bisector of the segment ``pq``; ``p`` itself always satisfies the
+    returned halfplane strictly (unless ``p == q``, which is rejected).
+
+    Raises
+    ------
+    ValueError
+        If ``p`` and ``q`` coincide, in which case no bisector exists.
+    """
+    if p.x == q.x and p.y == q.y:
+        raise ValueError("cannot build a bisector halfplane for identical points")
+    # dist(x, p) <= dist(x, q)  <=>  2*(q - p) . x <= |q|^2 - |p|^2
+    a = 2.0 * (q.x - p.x)
+    b = 2.0 * (q.y - p.y)
+    c = (q.x * q.x + q.y * q.y) - (p.x * p.x + p.y * p.y)
+    return Halfplane(a, b, c)
+
+
+def perpendicular_bisector(p: Point, q: Point) -> Tuple[Point, Point]:
+    """Two points spanning the perpendicular bisector line of ``pq``.
+
+    Provided for visualisation and for the TP-VOR baseline, which needs the
+    crossing parameter of a bisector with a query segment.
+    """
+    hp = bisector_halfplane(p, q)
+    span = max(1.0, p.distance_to(q))
+    return hp.boundary_points(span=span)

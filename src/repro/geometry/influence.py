@@ -1,0 +1,105 @@
+"""The Φ(L, p) influence region of Equation 3 and the Lemma-3 pruning test.
+
+Given a point ``p`` and a line segment ``L`` (a side of a non-leaf R-tree
+MBR), Φ(L, p) is the set of locations closer to ``p`` than to *any* location
+on ``L``:
+
+    Φ(L, p) = { b | dist(p, b) <= mindist(L, b) }
+
+The paper evaluates membership with a piecewise function: the perpendiculars
+to ``L`` through its endpoints split the plane into three partitions A1, A2,
+A3; inside the middle strip the boundary of Φ is a parabola (point/line
+bisector) and in the outer partitions it is the perpendicular bisector of
+``p`` and the corresponding endpoint.  Both that piecewise formulation and a
+direct distance-based evaluation are provided here; the test-suite checks
+that they agree, and the algorithms use the cheap direct form.
+
+Lemma 3 then states that a convex polygon ``T`` lies entirely inside
+Φ(L, p) iff every vertex of ``T`` does, which gives the constant-per-vertex
+pruning check used by the ConditionalFilter (Algorithm 5).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.geometry.point import Point, dist
+from repro.geometry.polygon import ConvexPolygon
+from repro.geometry.rect import Rect
+from repro.geometry.segment import Segment
+
+_EPS = 1e-9
+
+
+def phi_contains_point(segment: Segment, p: Point, location: Point) -> bool:
+    """Whether ``location`` lies in Φ(L, p) for ``L = segment``.
+
+    Direct evaluation of Equation 3: compare the distance to ``p`` with the
+    minimum distance to the segment.
+    """
+    return dist(p, location) <= segment.distance_to_point(location) + _EPS
+
+
+def phi_contains_point_piecewise(segment: Segment, p: Point, location: Point) -> bool:
+    """Piecewise evaluation of Φ(L, p) membership as described in the paper.
+
+    The perpendiculars to ``L`` at its endpoints partition the plane into
+    A1 (before the first endpoint), A2 (the orthogonal strip over ``L``) and
+    A3 (past the second endpoint).  In A1/A3 the nearest location on ``L`` is
+    the corresponding endpoint, so membership reduces to a linear halfplane
+    test against that endpoint's bisector with ``p``.  In A2 the nearest
+    location is the orthogonal projection, giving the parabolic test
+    ``dist(p, b) <= distance-to-supporting-line``.
+    """
+    t = segment.project_parameter(location)
+    if segment.length() <= _EPS or t <= 0.0:
+        # Partition A1: the closest location on L is endpoint a.
+        nearest = segment.a
+    elif t >= 1.0:
+        # Partition A3: the closest location on L is endpoint b.
+        nearest = segment.b
+    else:
+        # Partition A2: the closest location is the orthogonal projection.
+        nearest = segment.point_at(t)
+    return dist(p, location) <= dist(nearest, location) + _EPS
+
+
+def polygon_within_phi(polygon: ConvexPolygon, segment: Segment, p: Point) -> bool:
+    """Lemma 3: ``polygon`` ⊆ Φ(L, p) iff every vertex is in Φ(L, p).
+
+    Both Φ(L, p) and the polygon are convex, so vertex containment implies
+    full containment.  Empty polygons are vacuously contained.
+    """
+    return all(phi_contains_point(segment, p, v) for v in polygon.vertices)
+
+
+def rect_sides(rect: Rect) -> List[Segment]:
+    """The four sides of an MBR, as segments, for the Lemma-3 entry test.
+
+    The paper prunes a non-leaf entry ``e`` when some already-seen candidate
+    ``p`` satisfies "T falls in Φ(L, p) for *all* sides L of e": Voronoi
+    cells of points inside ``e`` can then never reach ``T``.
+    """
+    c = rect.corners()
+    return [
+        Segment(c[0], c[1]),
+        Segment(c[1], c[2]),
+        Segment(c[2], c[3]),
+        Segment(c[3], c[0]),
+    ]
+
+
+def entry_pruned_by_candidate(rect: Rect, polygon: ConvexPolygon, candidate: Point) -> bool:
+    """Whether candidate point ``candidate`` prunes the subtree MBR ``rect``.
+
+    Implements the non-leaf pruning rule of Section IV-A: the subtree rooted
+    at ``rect`` cannot contain any point whose Voronoi cell intersects the
+    target cell ``polygon`` if ``polygon`` lies inside Φ(L, candidate) for
+    every side ``L`` of ``rect``.  Degenerate (point) MBRs are handled by the
+    same test because their sides degenerate to points.
+    """
+    if polygon.is_empty():
+        return True
+    return all(
+        polygon_within_phi(polygon, side, candidate) for side in rect_sides(rect)
+    )

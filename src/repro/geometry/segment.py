@@ -1,0 +1,62 @@
+"""Line segments and point-to-segment distances.
+
+The Φ(L, p) pruning region of Equation 3 is defined against a side ``L`` of
+an R-tree MBR, so the segment distance machinery lives here.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.geometry.point import Point
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A closed line segment between two endpoints ``a`` and ``b``."""
+
+    a: Point
+    b: Point
+
+    __slots__ = ("a", "b")
+
+    def length(self) -> float:
+        """Euclidean length of the segment."""
+        return self.a.distance_to(self.b)
+
+    def midpoint(self) -> Point:
+        """Midpoint of the segment."""
+        return Point((self.a.x + self.b.x) / 2.0, (self.a.y + self.b.y) / 2.0)
+
+    def project_parameter(self, p: Point) -> float:
+        """Parameter ``t`` of the orthogonal projection of ``p`` onto the
+        supporting line, with ``t=0`` at ``a`` and ``t=1`` at ``b``.
+
+        For a degenerate (zero-length) segment the parameter is defined as 0.
+        """
+        dx = self.b.x - self.a.x
+        dy = self.b.y - self.a.y
+        denom = dx * dx + dy * dy
+        if denom == 0.0:
+            return 0.0
+        return ((p.x - self.a.x) * dx + (p.y - self.a.y) * dy) / denom
+
+    def point_at(self, t: float) -> Point:
+        """The point ``a + t * (b - a)`` on the supporting line."""
+        return Point(
+            self.a.x + t * (self.b.x - self.a.x),
+            self.a.y + t * (self.b.y - self.a.y),
+        )
+
+    def closest_point_to(self, p: Point) -> Point:
+        """The point of the (closed) segment nearest to ``p``."""
+        t = self.project_parameter(p)
+        t = min(1.0, max(0.0, t))
+        return self.point_at(t)
+
+    def distance_to_point(self, p: Point) -> float:
+        """``mindist(L, p)``: distance from ``p`` to the closest location on
+        the segment.  This is exactly the quantity appearing in Equation 3."""
+        c = self.closest_point_to(p)
+        return math.hypot(c.x - p.x, c.y - p.y)

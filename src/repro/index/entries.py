@@ -1,0 +1,94 @@
+"""R-tree node and entry primitives.
+
+Leaf entries carry the indexed record (a data point, or a Voronoi cell in
+the materialised trees of FM-CIJ/PM-CIJ); branch entries point to a child
+page.  Entry byte sizes follow the paper's cost model with 1 KB pages: a
+point entry stores an object identifier plus two coordinates, a cell entry
+additionally stores its vertex ring, which is why Voronoi leaf pages are
+packed by byte size rather than by a fixed fanout.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+#: Bytes occupied by a point leaf entry: 4-byte oid + two 8-byte coordinates.
+POINT_ENTRY_BYTES = 20
+#: Bytes occupied by a branch entry: 4-byte child pointer + 4 x 8-byte MBR.
+BRANCH_ENTRY_BYTES = 36
+#: Fixed overhead of a Voronoi-cell leaf entry (oid + vertex count).
+CELL_ENTRY_HEADER_BYTES = 8
+#: Bytes per stored cell vertex (two 8-byte coordinates).
+CELL_VERTEX_BYTES = 16
+
+
+class LeafEntry:
+    """A leaf-level entry: an object identifier, its MBR and its payload."""
+
+    __slots__ = ("oid", "mbr", "payload", "size_bytes")
+
+    def __init__(self, oid: int, mbr: Rect, payload: Any, size_bytes: int = POINT_ENTRY_BYTES):
+        self.oid = oid
+        self.mbr = mbr
+        self.payload = payload
+        self.size_bytes = size_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LeafEntry(oid={self.oid}, mbr={self.mbr})"
+
+    @staticmethod
+    def for_point(oid: int, point: Point) -> "LeafEntry":
+        """Leaf entry for a data point."""
+        return LeafEntry(oid, Rect.from_point(point), point, POINT_ENTRY_BYTES)
+
+    @staticmethod
+    def for_cell(oid: int, mbr: Rect, cell: Any, vertex_count: int) -> "LeafEntry":
+        """Leaf entry for a Voronoi cell with ``vertex_count`` vertices."""
+        size = CELL_ENTRY_HEADER_BYTES + CELL_VERTEX_BYTES * max(3, vertex_count)
+        return LeafEntry(oid, mbr, cell, size)
+
+
+class BranchEntry:
+    """A non-leaf entry: the MBR of a subtree and the page it lives on."""
+
+    __slots__ = ("mbr", "child_page")
+
+    def __init__(self, mbr: Rect, child_page: int):
+        self.mbr = mbr
+        self.child_page = child_page
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BranchEntry(child={self.child_page}, mbr={self.mbr})"
+
+
+class Node:
+    """An R-tree node; ``level == 0`` marks leaves."""
+
+    __slots__ = ("level", "entries")
+
+    def __init__(self, level: int, entries: Optional[List[Any]] = None):
+        self.level = level
+        self.entries = entries if entries is not None else []
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.level == 0
+
+    def mbr(self) -> Rect:
+        """The tight MBR enclosing every entry of the node."""
+        if not self.entries:
+            raise ValueError("cannot compute the MBR of an empty node")
+        return Rect.union_all(entry.mbr for entry in self.entries)
+
+    def byte_size(self) -> int:
+        """Bytes consumed by the node's entries (branch entries are fixed-size)."""
+        if self.is_leaf:
+            return sum(entry.size_bytes for entry in self.entries)
+        return BRANCH_ENTRY_BYTES * len(self.entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "leaf" if self.is_leaf else f"branch(level={self.level})"
+        return f"Node({kind}, {len(self.entries)} entries)"

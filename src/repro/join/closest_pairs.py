@@ -1,0 +1,70 @@
+"""k-closest-pairs join between two point R-trees.
+
+The second classical pointset join the paper contrasts CIJ with: the result
+is the ``k`` pairs with the smallest distance.  The implementation combines
+best-first search over pairs of tree entries (priority = ``mindist`` between
+the two MBRs) with the synchronous traversal, as sketched in Section II-A.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import List, Tuple
+
+from repro.geometry.point import dist
+from repro.index.rtree import RTree
+
+_PAIR_POINTS = 0
+_PAIR_NODES = 1
+
+
+def k_closest_pairs(tree_p: RTree, tree_q: RTree, k: int) -> List[Tuple[float, int, int]]:
+    """The ``k`` closest pairs as ``(distance, p_oid, q_oid)`` tuples.
+
+    Results are returned in ascending distance order.  Fewer than ``k``
+    tuples are returned when the Cartesian product is smaller than ``k``.
+    """
+    if k <= 0 or tree_p.is_empty() or tree_q.is_empty():
+        return []
+    counter = itertools.count()
+    heap: List[tuple] = []
+    heapq.heappush(
+        heap, (0.0, next(counter), _PAIR_NODES, tree_p.root_page, tree_q.root_page)
+    )
+    results: List[Tuple[float, int, int]] = []
+    while heap and len(results) < k:
+        key, _, kind, item_p, item_q = heapq.heappop(heap)
+        if kind == _PAIR_POINTS:
+            results.append((key, item_p.oid, item_q.oid))
+            continue
+        node_p = tree_p.read_node(item_p)
+        node_q = tree_q.read_node(item_q)
+        if node_p.is_leaf and node_q.is_leaf:
+            for entry_p in node_p.entries:
+                for entry_q in node_q.entries:
+                    d = dist(entry_p.payload, entry_q.payload)
+                    heapq.heappush(
+                        heap, (d, next(counter), _PAIR_POINTS, entry_p, entry_q)
+                    )
+        elif node_p.is_leaf:
+            for entry_q in node_q.entries:
+                d = node_p.mbr().mindist_rect(entry_q.mbr)
+                heapq.heappush(
+                    heap, (d, next(counter), _PAIR_NODES, item_p, entry_q.child_page)
+                )
+        elif node_q.is_leaf:
+            for entry_p in node_p.entries:
+                d = entry_p.mbr.mindist_rect(node_q.mbr())
+                heapq.heappush(
+                    heap, (d, next(counter), _PAIR_NODES, entry_p.child_page, item_q)
+                )
+        else:
+            for entry_p in node_p.entries:
+                for entry_q in node_q.entries:
+                    d = entry_p.mbr.mindist_rect(entry_q.mbr)
+                    heapq.heappush(
+                        heap,
+                        (d, next(counter), _PAIR_NODES, entry_p.child_page, entry_q.child_page),
+                    )
+    return results

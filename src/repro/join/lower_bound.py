@@ -1,0 +1,17 @@
+"""The theoretical lower-bound I/O cost (the "LB" line of the plots).
+
+Footnote 3 of the paper: every point of ``P`` and ``Q`` participates in the
+CIJ (each point's cell intersects at least one cell of the other diagram),
+so any R-tree-based CIJ algorithm must visit every node of both trees at
+least once.  The lower bound is therefore the total number of pages of the
+two source trees.
+"""
+
+from __future__ import annotations
+
+from repro.index.rtree import RTree
+
+
+def lower_bound_io(tree_p: RTree, tree_q: RTree) -> int:
+    """Minimum possible page accesses of any R-tree CIJ algorithm."""
+    return tree_p.node_count() + tree_q.node_count()

@@ -1,0 +1,74 @@
+"""Synchronous-traversal spatial intersection join (Brinkhoff et al. [9]).
+
+FM-CIJ joins the two materialised Voronoi R-trees with this algorithm: both
+trees are descended concurrently, following only pairs of entries whose MBRs
+intersect.  At the leaf level an exact refinement predicate (convex polygon
+intersection for Voronoi cells) decides whether a pair is reported.
+
+The implementation also handles trees of different heights (the shorter
+subtree is held fixed while the taller one is descended), which occurs when
+the two Voronoi R-trees have different page counts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from repro.index.entries import LeafEntry
+from repro.index.rtree import RTree
+
+RefinePredicate = Callable[[LeafEntry, LeafEntry], bool]
+
+
+def synchronous_join(
+    tree_a: RTree,
+    tree_b: RTree,
+    refine: Optional[RefinePredicate] = None,
+) -> Iterator[Tuple[LeafEntry, LeafEntry]]:
+    """Yield pairs of leaf entries with intersecting MBRs from both trees.
+
+    Parameters
+    ----------
+    tree_a, tree_b:
+        The two indexes to join.
+    refine:
+        Optional exact predicate applied to MBR-intersecting leaf pairs
+        (e.g. convex polygon intersection).  When omitted, MBR intersection
+        alone qualifies a pair.
+    """
+    if tree_a.is_empty() or tree_b.is_empty():
+        return
+    stack: List[Tuple[int, int]] = [(tree_a.root_page, tree_b.root_page)]
+    while stack:
+        page_a, page_b = stack.pop()
+        node_a = tree_a.read_node(page_a)
+        node_b = tree_b.read_node(page_b)
+        if node_a.is_leaf and node_b.is_leaf:
+            for entry_a in node_a.entries:
+                for entry_b in node_b.entries:
+                    if not entry_a.mbr.intersects(entry_b.mbr):
+                        continue
+                    if refine is None or refine(entry_a, entry_b):
+                        yield entry_a, entry_b
+        elif node_a.is_leaf:
+            node_mbr = node_a.mbr()
+            for entry_b in node_b.entries:
+                if node_mbr.intersects(entry_b.mbr):
+                    stack.append((page_a, entry_b.child_page))
+        elif node_b.is_leaf:
+            node_mbr = node_b.mbr()
+            for entry_a in node_a.entries:
+                if entry_a.mbr.intersects(node_mbr):
+                    stack.append((entry_a.child_page, page_b))
+        else:
+            for entry_a in node_a.entries:
+                for entry_b in node_b.entries:
+                    if entry_a.mbr.intersects(entry_b.mbr):
+                        stack.append((entry_a.child_page, entry_b.child_page))
+
+
+def count_join_pairs(
+    tree_a: RTree, tree_b: RTree, refine: Optional[RefinePredicate] = None
+) -> int:
+    """Number of qualifying pairs (convenience wrapper for tests)."""
+    return sum(1 for _ in synchronous_join(tree_a, tree_b, refine=refine))

@@ -1,0 +1,112 @@
+"""Best-first nearest-neighbour search over R-trees.
+
+The incremental algorithm of Hjaltason & Samet keeps a min-heap of tree
+entries keyed by ``mindist`` to the query point and deheaps them in
+ascending order; points therefore come out in exact distance order.  The
+same visit order is reused by BF-VOR (Algorithm 1) to "discover early points
+near p_i that refine V_c(p_i)".
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Iterator, List, Optional, Tuple
+
+from repro.geometry.point import Point
+from repro.index.entries import LeafEntry
+from repro.index.rtree import RTree
+
+
+def incremental_nearest(tree: RTree, query: Point) -> Iterator[Tuple[float, LeafEntry]]:
+    """Yield ``(distance, leaf_entry)`` in ascending distance from ``query``.
+
+    The generator reads tree nodes lazily, so consuming only the first few
+    results costs only the node accesses needed for them.
+    """
+    if tree.is_empty():
+        return
+    counter = itertools.count()
+    heap: List[Tuple[float, int, int, object]] = []
+    root = tree.read_node(tree.root_page)
+    _push_node_entries(heap, counter, root, query)
+    while heap:
+        dist, _, kind, item = heapq.heappop(heap)
+        if kind == _KIND_POINT:
+            yield dist, item
+        else:
+            node = tree.read_node(item)
+            _push_node_entries(heap, counter, node, query)
+
+
+def nearest_neighbor(tree: RTree, query: Point) -> Optional[Tuple[float, LeafEntry]]:
+    """The single nearest entry to ``query``, or ``None`` for an empty tree."""
+    for result in incremental_nearest(tree, query):
+        return result
+    return None
+
+
+def k_nearest_neighbors(tree: RTree, query: Point, k: int) -> List[Tuple[float, LeafEntry]]:
+    """The ``k`` nearest entries to ``query`` in ascending distance order."""
+    if k <= 0:
+        return []
+    results: List[Tuple[float, LeafEntry]] = []
+    for result in incremental_nearest(tree, query):
+        results.append(result)
+        if len(results) == k:
+            break
+    return results
+
+
+def quadrant_nearest_neighbors(
+    tree: RTree, query: Point, exclude_oid: Optional[int] = None
+) -> List[Optional[LeafEntry]]:
+    """Nearest neighbour of ``query`` in each of the four axis quadrants.
+
+    This implements the constrained NN queries used by the approximate
+    Voronoi-cell construction of Stanoi et al. [7]: the four quadrants are
+    defined by the rectilinear lines through the query point, and the
+    bisectors with the four quadrant NNs form a superset of the true cell.
+    Entries whose ``oid`` equals ``exclude_oid`` (the query point itself,
+    when it belongs to the indexed set) are skipped.
+
+    Returns a list of four entries (or ``None`` where a quadrant is empty)
+    ordered ``[NE, NW, SW, SE]``.
+    """
+    found: List[Optional[LeafEntry]] = [None, None, None, None]
+    remaining = 4
+    for _, entry in incremental_nearest(tree, query):
+        if exclude_oid is not None and entry.oid == exclude_oid:
+            continue
+        p = entry.payload
+        if not isinstance(p, Point):
+            p = entry.mbr.center()
+        if p.x >= query.x and p.y >= query.y:
+            quadrant = 0
+        elif p.x < query.x and p.y >= query.y:
+            quadrant = 1
+        elif p.x < query.x and p.y < query.y:
+            quadrant = 2
+        else:
+            quadrant = 3
+        if found[quadrant] is None:
+            found[quadrant] = entry
+            remaining -= 1
+            if remaining == 0:
+                break
+    return found
+
+
+_KIND_POINT = 0
+_KIND_NODE = 1
+
+
+def _push_node_entries(heap, counter, node, query: Point) -> None:
+    if node.is_leaf:
+        for entry in node.entries:
+            dist = entry.mbr.mindist_point(query)
+            heapq.heappush(heap, (dist, next(counter), _KIND_POINT, entry))
+    else:
+        for entry in node.entries:
+            dist = entry.mbr.mindist_point(query)
+            heapq.heappush(heap, (dist, next(counter), _KIND_NODE, entry.child_page))

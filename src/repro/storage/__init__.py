@@ -1,0 +1,20 @@
+"""Simulated storage layer: pages, an LRU buffer and I/O accounting.
+
+The paper's primary experimental metric is the number of R-tree page (node)
+accesses under an LRU buffer sized at a percentage of the data size.  This
+subpackage provides exactly that substrate:
+
+* :class:`~repro.storage.counters.IOCounters` — read/write/hit/miss counters
+  that every experiment reports,
+* :class:`~repro.storage.buffer.LRUBuffer` — a page-granularity LRU cache,
+* :class:`~repro.storage.disk.DiskManager` — a page store that charges one
+  logical I/O per buffer miss and tracks which structure (tree) each page
+  belongs to, so materialisation (MAT) and join (JOIN) costs can be broken
+  down as in Figure 7.
+"""
+
+from repro.storage.buffer import LRUBuffer
+from repro.storage.counters import IOCounters
+from repro.storage.disk import DiskManager, PAGE_SIZE_DEFAULT
+
+__all__ = ["LRUBuffer", "IOCounters", "DiskManager", "PAGE_SIZE_DEFAULT"]

@@ -1,0 +1,76 @@
+"""A page-granularity LRU buffer.
+
+Section V of the paper runs every experiment with "an LRU memory buffer
+whose default size is set to 2% of the data size on disk" and Figure 8a
+sweeps the buffer size from 0% to 10%.  The buffer only tracks page
+identifiers — page contents stay in the in-memory page store — because the
+quantity of interest is the hit/miss pattern, not byte movement.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable
+
+
+class LRUBuffer:
+    """Least-recently-used buffer over hashable page identifiers.
+
+    A capacity of zero models the bufferless case: every access misses.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 0:
+            raise ValueError("buffer capacity must be non-negative")
+        self._capacity = capacity
+        self._pages: "OrderedDict[Hashable, None]" = OrderedDict()
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of pages the buffer may hold."""
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def __contains__(self, page_id: Hashable) -> bool:
+        return page_id in self._pages
+
+    def access(self, page_id: Hashable) -> bool:
+        """Touch a page; returns ``True`` on a buffer hit.
+
+        On a miss the page is admitted, evicting the least recently used
+        page if the buffer is full.
+        """
+        if self._capacity == 0:
+            return False
+        if page_id in self._pages:
+            self._pages.move_to_end(page_id)
+            return True
+        self._admit(page_id)
+        return False
+
+    def invalidate(self, page_id: Hashable) -> None:
+        """Drop a page from the buffer if present (e.g. after deletion)."""
+        self._pages.pop(page_id, None)
+
+    def clear(self) -> None:
+        """Empty the buffer."""
+        self._pages.clear()
+
+    def resize(self, capacity: int) -> None:
+        """Change the capacity, evicting LRU pages if it shrank."""
+        if capacity < 0:
+            raise ValueError("buffer capacity must be non-negative")
+        self._capacity = capacity
+        while len(self._pages) > self._capacity:
+            self._pages.popitem(last=False)
+
+    def contents(self) -> list:
+        """Page identifiers from least to most recently used (for tests)."""
+        return list(self._pages.keys())
+
+    def _admit(self, page_id: Hashable) -> None:
+        self._pages[page_id] = None
+        if len(self._pages) > self._capacity:
+            self._pages.popitem(last=False)

@@ -1,0 +1,171 @@
+"""Simulated disk: a page store with buffer-aware I/O accounting.
+
+All R-trees in this library store their nodes through a shared
+:class:`DiskManager`.  Reading a node charges one physical page access when
+the page is not in the LRU buffer; writing a node (materialising a Voronoi
+R-tree, splitting a node) always charges a write, as in the paper's cost
+model where tree construction cost "is exactly the cost of writing the nodes
+of R'_P to disk".
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.storage.buffer import LRUBuffer
+from repro.storage.counters import IOCounters
+
+#: Default page size in bytes (the paper uses 1 KB pages).
+PAGE_SIZE_DEFAULT = 1024
+
+
+@dataclass
+class PageDescriptor:
+    """Metadata for one stored page."""
+
+    page_id: int
+    tag: str
+    payload: Any
+    size_bytes: int
+
+
+class DiskManager:
+    """A page store shared by every index participating in an experiment.
+
+    Parameters
+    ----------
+    page_size:
+        Page capacity in bytes; only used to derive index fanouts and to
+        translate buffer percentages into page counts.
+    buffer_pages:
+        Capacity of the LRU buffer in pages.  May be resized later with
+        :meth:`resize_buffer` (Figure 8a sweeps this).
+    counters:
+        Optional externally-owned counters; a fresh set is created otherwise.
+    """
+
+    def __init__(
+        self,
+        page_size: int = PAGE_SIZE_DEFAULT,
+        buffer_pages: int = 0,
+        counters: Optional[IOCounters] = None,
+    ):
+        if page_size <= 0:
+            raise ValueError("page size must be positive")
+        self.page_size = page_size
+        self.counters = counters if counters is not None else IOCounters()
+        self.buffer = LRUBuffer(buffer_pages)
+        self._pages: Dict[int, PageDescriptor] = {}
+        self._next_id = itertools.count(1)
+        self._io_enabled = True
+
+    # ------------------------------------------------------------------
+    # page lifecycle
+    # ------------------------------------------------------------------
+    def allocate(self, tag: str, payload: Any, size_bytes: Optional[int] = None) -> int:
+        """Allocate a new page and charge the write that persists it."""
+        page_id = next(self._next_id)
+        size = size_bytes if size_bytes is not None else self.page_size
+        self._pages[page_id] = PageDescriptor(page_id, tag, payload, size)
+        if self._io_enabled:
+            self.counters.record_write(tag)
+            self.buffer.access(page_id)
+        return page_id
+
+    def write(self, page_id: int, payload: Any, size_bytes: Optional[int] = None) -> None:
+        """Overwrite an existing page (charged as one physical write)."""
+        descriptor = self._descriptor(page_id)
+        descriptor.payload = payload
+        if size_bytes is not None:
+            descriptor.size_bytes = size_bytes
+        if self._io_enabled:
+            self.counters.record_write(descriptor.tag)
+            self.buffer.access(page_id)
+
+    def read(self, page_id: int) -> Any:
+        """Read a page through the buffer, charging a miss as physical I/O."""
+        descriptor = self._descriptor(page_id)
+        if self._io_enabled:
+            hit = self.buffer.access(page_id)
+            self.counters.record_read(descriptor.tag, hit)
+        return descriptor.payload
+
+    def peek(self, page_id: int) -> Any:
+        """Read a page's payload without touching the buffer or counters.
+
+        Used by test oracles and by maintenance operations whose cost the
+        paper does not attribute to the measured algorithm.
+        """
+        return self._descriptor(page_id).payload
+
+    def free(self, page_id: int) -> None:
+        """Release a page (no I/O charge; deallocation is metadata-only)."""
+        self._pages.pop(page_id, None)
+        self.buffer.invalidate(page_id)
+
+    # ------------------------------------------------------------------
+    # introspection and control
+    # ------------------------------------------------------------------
+    def page_count(self, tag: Optional[str] = None) -> int:
+        """Number of allocated pages, optionally restricted to one tag."""
+        if tag is None:
+            return len(self._pages)
+        return sum(1 for d in self._pages.values() if d.tag == tag)
+
+    def data_size_bytes(self, tag: Optional[str] = None) -> int:
+        """Total bytes stored, optionally restricted to one tag."""
+        return sum(
+            d.size_bytes for d in self._pages.values() if tag is None or d.tag == tag
+        )
+
+    def resize_buffer(self, buffer_pages: int) -> None:
+        """Resize the LRU buffer (contents are kept up to the new capacity)."""
+        self.buffer.resize(buffer_pages)
+
+    def set_buffer_fraction(self, fraction: float, tag: Optional[str] = None) -> None:
+        """Size the buffer as a fraction of the currently stored data size.
+
+        This mirrors the paper's "buffer size set to x% of the data size on
+        disk".  A fraction of zero disables the buffer entirely.
+        """
+        if fraction < 0.0:
+            raise ValueError("buffer fraction must be non-negative")
+        pages = int(round(self.page_count(tag) * fraction))
+        self.buffer.resize(pages)
+        self.buffer.clear()
+
+    def suspend_io_accounting(self) -> "_IOAccountingSuspension":
+        """Context manager that disables I/O charging while active.
+
+        Ground-truth oracles (brute-force CIJ) and dataset preparation use
+        this so their accesses do not pollute the measured counters.
+        """
+        return _IOAccountingSuspension(self)
+
+    def reset_counters(self) -> None:
+        """Zero the I/O counters without touching pages or the buffer."""
+        self.counters.reset()
+
+    def _descriptor(self, page_id: int) -> PageDescriptor:
+        try:
+            return self._pages[page_id]
+        except KeyError:
+            raise KeyError(f"page {page_id} has not been allocated") from None
+
+
+class _IOAccountingSuspension:
+    """Context manager toggling a DiskManager's I/O accounting off and on."""
+
+    def __init__(self, disk: DiskManager):
+        self._disk = disk
+        self._previous = True
+
+    def __enter__(self) -> DiskManager:
+        self._previous = self._disk._io_enabled
+        self._disk._io_enabled = False
+        return self._disk
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._disk._io_enabled = self._previous

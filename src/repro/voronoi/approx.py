@@ -1,0 +1,44 @@
+"""Quadrant-NN Voronoi-cell approximation (Stanoi et al. [7]).
+
+The approximation finds the nearest neighbour of the site in each of the
+four quadrants defined by the rectilinear lines through the site and clips
+the domain with the corresponding bisectors.  The result is a *superset* of
+the exact cell: it is cheap (four constrained NN searches folded into one
+incremental traversal) but may strictly contain the true cell, which is why
+the paper develops the exact BF-VOR instead.  The library keeps it both as a
+historical baseline and as a fast pre-filter for applications that only need
+an upper bound on the influence region.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.geometry.halfplane import bisector_halfplane
+from repro.geometry.point import Point
+from repro.geometry.polygon import ConvexPolygon
+from repro.geometry.rect import Rect
+from repro.index.rtree import RTree
+from repro.query.nearest import quadrant_nearest_neighbors
+from repro.voronoi.cell import VoronoiCell
+
+
+def approximate_cell_quadrants(
+    tree: RTree,
+    site: Point,
+    domain: Rect,
+    site_oid: Optional[int] = None,
+) -> VoronoiCell:
+    """Superset approximation of ``V(site, P)`` from the four quadrant NNs."""
+    oid = site_oid if site_oid is not None else -1
+    polygon = ConvexPolygon.from_rect(domain)
+    if tree.is_empty():
+        return VoronoiCell(oid, site, polygon)
+    for entry in quadrant_nearest_neighbors(tree, site, exclude_oid=site_oid):
+        if entry is None:
+            continue
+        other = entry.payload
+        if not isinstance(other, Point) or (other.x == site.x and other.y == site.y):
+            continue
+        polygon = polygon.clip_halfplane(bisector_halfplane(site, other))
+    return VoronoiCell(oid, site, polygon)

@@ -1,0 +1,84 @@
+"""Shared fixtures and hypothesis strategies for the test-suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.datasets.synthetic import DOMAIN, uniform_points
+from repro.datasets.workload import WorkloadConfig, build_workload
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.storage.disk import DiskManager
+
+
+# ----------------------------------------------------------------------
+# hypothesis strategies
+# ----------------------------------------------------------------------
+def coordinates(min_value: float = 0.0, max_value: float = 10_000.0):
+    """Finite coordinates inside the paper's normalised domain."""
+    return st.floats(
+        min_value=min_value,
+        max_value=max_value,
+        allow_nan=False,
+        allow_infinity=False,
+        width=32,
+    )
+
+
+def points_strategy():
+    """A single point inside the domain."""
+    return st.builds(Point, coordinates(), coordinates())
+
+
+def grid_points_strategy(step: float = 0.25):
+    """Points snapped to a grid, guaranteeing a minimum pairwise separation.
+
+    Voronoi-based properties use these: sites closer than the geometric
+    tolerance of the polygon machinery produce degenerate sliver cells that
+    no finite-precision implementation (including the paper's) can represent.
+    """
+    cells = int(10_000 / step)
+    return st.builds(
+        lambda ix, iy: Point(ix * step, iy * step),
+        st.integers(min_value=0, max_value=cells),
+        st.integers(min_value=0, max_value=cells),
+    )
+
+
+def distinct_pointsets(min_size: int = 2, max_size: int = 12):
+    """Small lists of distinct, well-separated points (Voronoi sites)."""
+    return st.lists(
+        grid_points_strategy(),
+        min_size=min_size,
+        max_size=max_size,
+        unique_by=lambda p: (p.x, p.y),
+    )
+
+
+# ----------------------------------------------------------------------
+# fixtures
+# ----------------------------------------------------------------------
+@pytest.fixture
+def domain() -> Rect:
+    """The paper's [0, 10000]^2 space domain."""
+    return DOMAIN
+
+
+@pytest.fixture
+def disk() -> DiskManager:
+    """A fresh simulated disk with a small buffer."""
+    return DiskManager(buffer_pages=8)
+
+
+@pytest.fixture
+def small_workload():
+    """Two small uniform pointsets, indexed, with measurement reset."""
+    config = WorkloadConfig(n_p=120, n_q=100, seed=7, buffer_fraction=0.05)
+    return build_workload(config)
+
+
+@pytest.fixture
+def tiny_pointsets():
+    """Two tiny pointsets used by exact-equivalence tests."""
+    return uniform_points(40, seed=1), uniform_points(35, seed=2)

@@ -1,0 +1,39 @@
+"""Tests for the real-dataset stand-ins."""
+
+import pytest
+
+from repro.datasets.real_like import DEFAULT_SCALE, REAL_DATASET_SPECS, real_like_dataset
+from repro.datasets.synthetic import DOMAIN
+
+
+class TestRealLikeDatasets:
+    def test_all_five_datasets_exist(self):
+        assert set(REAL_DATASET_SPECS) == {"PP", "SC", "CE", "LO", "PA"}
+
+    def test_cardinalities_follow_table1_ratios(self):
+        sizes = {name: len(real_like_dataset(name, scale=DEFAULT_SCALE)) for name in REAL_DATASET_SPECS}
+        # Table I ordering: PP > SC > LO > CE > PA (PP largest, PA smallest).
+        assert sizes["PP"] > sizes["SC"] > sizes["CE"] > sizes["PA"]
+        assert sizes["LO"] > sizes["PA"]
+        for name, spec in REAL_DATASET_SPECS.items():
+            assert sizes[name] == max(16, spec.paper_cardinality // DEFAULT_SCALE)
+
+    def test_points_are_normalised_to_domain(self):
+        for name in REAL_DATASET_SPECS:
+            points = real_like_dataset(name, scale=600)
+            assert all(DOMAIN.contains_point(p) for p in points)
+
+    def test_deterministic_per_dataset(self):
+        assert real_like_dataset("PP", scale=600) == real_like_dataset("PP", scale=600)
+        assert real_like_dataset("PP", scale=600) != real_like_dataset("SC", scale=600)
+
+    def test_case_insensitive_names(self):
+        assert real_like_dataset("pa", scale=600) == real_like_dataset("PA", scale=600)
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            real_like_dataset("XX")
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            real_like_dataset("PP", scale=0)

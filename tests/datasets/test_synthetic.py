@@ -1,0 +1,81 @@
+"""Tests for the synthetic dataset generators."""
+
+import pytest
+
+from repro.datasets.synthetic import DOMAIN, clustered_points, gaussian_points, uniform_points
+from repro.geometry.rect import Rect
+
+
+class TestUniformPoints:
+    def test_count_and_domain(self):
+        points = uniform_points(200, seed=1)
+        assert len(points) == 200
+        assert all(DOMAIN.contains_point(p) for p in points)
+
+    def test_points_are_distinct(self):
+        points = uniform_points(500, seed=2)
+        assert len({(p.x, p.y) for p in points}) == 500
+
+    def test_seed_determinism(self):
+        assert uniform_points(50, seed=3) == uniform_points(50, seed=3)
+        assert uniform_points(50, seed=3) != uniform_points(50, seed=4)
+
+    def test_zero_points(self):
+        assert uniform_points(0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            uniform_points(-1)
+
+    def test_custom_domain_respected(self):
+        domain = Rect(100.0, 200.0, 300.0, 400.0)
+        points = uniform_points(100, seed=5, domain=domain)
+        assert all(domain.contains_point(p) for p in points)
+
+
+class TestGaussianPoints:
+    def test_points_are_clipped_to_domain(self):
+        points = gaussian_points(300, seed=6, spread_fraction=0.8)
+        assert all(DOMAIN.contains_point(p) for p in points)
+
+    def test_concentration_around_center(self):
+        points = gaussian_points(300, seed=7, spread_fraction=0.05)
+        center = DOMAIN.center()
+        near = sum(1 for p in points if p.distance_to(center) < 2000.0)
+        assert near > 250
+
+    def test_invalid_spread_rejected(self):
+        with pytest.raises(ValueError):
+            gaussian_points(10, spread_fraction=0.0)
+
+
+class TestClusteredPoints:
+    def test_count_distinctness_and_domain(self):
+        points = clustered_points(400, clusters=5, seed=8)
+        assert len(points) == 400
+        assert len({(p.x, p.y) for p in points}) == 400
+        assert all(DOMAIN.contains_point(p) for p in points)
+
+    def test_clustering_is_visible(self):
+        """Clustered data must be far less spread out than uniform data."""
+        import statistics
+
+        clustered = clustered_points(400, clusters=3, seed=9, uniform_fraction=0.0)
+        uniform = uniform_points(400, seed=9)
+
+        def mean_nn_distance(points):
+            total = 0.0
+            for p in points[:100]:
+                total += min(p.distance_to(q) for q in points if q != p)
+            return total / 100
+
+        assert mean_nn_distance(clustered) < mean_nn_distance(uniform)
+
+    def test_invalid_cluster_count_rejected(self):
+        with pytest.raises(ValueError):
+            clustered_points(10, clusters=0)
+
+    def test_skewed_and_balanced_cluster_sizes_differ(self):
+        skewed = clustered_points(300, clusters=6, seed=10, skewed_cluster_sizes=True)
+        balanced = clustered_points(300, clusters=6, seed=10, skewed_cluster_sizes=False)
+        assert skewed != balanced

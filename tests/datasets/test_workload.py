@@ -1,0 +1,65 @@
+"""Tests for workload construction."""
+
+import pytest
+
+from repro.datasets.synthetic import DOMAIN, uniform_points
+from repro.datasets.workload import (
+    WorkloadConfig,
+    build_indexed_pointset,
+    build_workload,
+)
+from repro.storage.disk import DiskManager
+
+
+class TestBuildIndexedPointset:
+    def test_construction_charges_no_io(self):
+        disk = DiskManager()
+        points = uniform_points(150, seed=31)
+        tree = build_indexed_pointset(disk, "RP", points, domain=DOMAIN)
+        assert disk.counters.page_accesses == 0
+        assert len(tree.all_leaf_entries()) == 150
+
+    def test_bulk_and_incremental_store_the_same_points(self):
+        disk = DiskManager()
+        points = uniform_points(120, seed=32)
+        bulk = build_indexed_pointset(disk, "A", points, domain=DOMAIN, bulk=True)
+        grown = build_indexed_pointset(disk, "B", points, domain=DOMAIN, bulk=False)
+        assert {e.payload for e in bulk.all_leaf_entries()} == {
+            e.payload for e in grown.all_leaf_entries()
+        }
+        bulk.check_invariants()
+        grown.check_invariants()
+
+
+class TestBuildWorkload:
+    def test_default_workload_shapes(self):
+        workload = build_workload(WorkloadConfig(n_p=100, n_q=80, seed=33))
+        assert len(workload.points_p) == 100
+        assert len(workload.points_q) == 80
+        assert len(workload.tree_p) == 100
+        assert len(workload.tree_q) == 80
+        assert workload.tree_p.disk is workload.tree_q.disk
+
+    def test_explicit_points_override_config(self):
+        points_p = uniform_points(12, seed=34)
+        points_q = uniform_points(9, seed=35)
+        workload = build_workload(WorkloadConfig(n_p=500), points_p=points_p, points_q=points_q)
+        assert workload.points_p == points_p
+        assert len(workload.tree_q) == 9
+
+    def test_counters_start_at_zero(self):
+        workload = build_workload(WorkloadConfig(n_p=60, n_q=60))
+        assert workload.disk.counters.page_accesses == 0
+
+    def test_buffer_sized_as_fraction_of_source_pages(self):
+        workload = build_workload(WorkloadConfig(n_p=600, n_q=600, buffer_fraction=0.10))
+        source_pages = workload.tree_p.node_count() + workload.tree_q.node_count()
+        assert workload.disk.buffer.capacity == round(source_pages * 0.10)
+
+    def test_reset_measurement_clears_state(self):
+        workload = build_workload(WorkloadConfig(n_p=80, n_q=80))
+        workload.disk.read(workload.tree_p.root_page)
+        assert workload.disk.counters.page_accesses > 0
+        workload.reset_measurement(buffer_fraction=0.05)
+        assert workload.disk.counters.page_accesses == 0
+        assert len(workload.disk.buffer) == 0

@@ -1,0 +1,89 @@
+"""Smoke tests: every experiment driver runs at the tiny scale and its
+output supports the paper's qualitative claims."""
+
+import pytest
+
+from repro.experiments.harness import run_experiment
+
+
+@pytest.fixture(scope="module")
+def fig7():
+    return run_experiment("fig7", scale="tiny")
+
+
+class TestVoronoiDrivers:
+    def test_fig5_bfvor_beats_tpvor(self):
+        result = run_experiment("fig5", scale="tiny")
+        rows = {row[0]: row for row in result.rows}
+        assert rows["BF-VOR"][2] < rows["TP-VOR"][2]  # mean node accesses
+        assert rows["BF-VOR"][3] <= rows["TP-VOR"][3]  # max node accesses
+
+    def test_fig6_batch_tracks_lower_bound_better_than_iter(self):
+        result = run_experiment("fig6", scale="tiny")
+        by_size = {}
+        for datasize, method, pages, _cpu in result.rows:
+            by_size.setdefault(datasize, {})[method] = pages
+        for datasize, methods in by_size.items():
+            assert methods["BATCH"] <= methods["ITER"]
+            assert methods["LB"] <= methods["BATCH"]
+
+    def test_table2_covers_all_real_datasets(self):
+        result = run_experiment("table2", scale="tiny")
+        assert {row[0] for row in result.rows} == {"PP", "SC", "CE", "LO", "PA"}
+        for row in result.rows:
+            assert row[2] >= row[4]  # page accesses >= LB pages
+
+
+class TestCIJDrivers:
+    def test_fig7_io_ordering(self, fig7):
+        totals = {row[0]: row[3] for row in fig7.rows}
+        assert totals["NM-CIJ"] < totals["PM-CIJ"] < totals["FM-CIJ"]
+
+    def test_fig7_result_sizes_agree_across_algorithms(self, fig7):
+        sizes = {row[6] for row in fig7.rows}
+        assert len(sizes) == 1
+
+    def test_fig7_nm_has_no_materialisation(self, fig7):
+        nm_row = next(row for row in fig7.rows if row[0] == "NM-CIJ")
+        assert nm_row[1] == 0
+
+    def test_fig9b_nm_is_progressive(self):
+        result = run_experiment("fig9b", scale="tiny")
+        nm_rows = [row for row in result.rows if row[0] == "NM-CIJ"]
+        fm_rows = [row for row in result.rows if row[0] == "FM-CIJ"]
+        assert nm_rows[-1][2] > 0
+        first_nm_output = next(row for row in nm_rows if row[2] > 0)
+        first_fm_output = next(row for row in fm_rows if row[2] > 0)
+        assert first_nm_output[1] < first_fm_output[1]
+
+    def test_fig10a_false_hit_ratio_is_small(self):
+        result = run_experiment("fig10a", scale="tiny")
+        for row in result.rows:
+            assert row[3] < 0.3
+
+    def test_fig11a_reuse_reduces_computations(self):
+        result = run_experiment("fig11a", scale="tiny")
+        by_size = {}
+        for datasize, variant, computed, _reused, _n in result.rows:
+            by_size.setdefault(datasize, {})[variant] = computed
+        for datasize, variants in by_size.items():
+            assert variants["REUSE"] <= variants["NO-REUSE"]
+
+
+class TestAblationDrivers:
+    def test_visit_order_ablation(self):
+        result = run_experiment("ablation_visit_order", scale="tiny")
+        accesses = {row[0]: row[2] for row in result.rows}
+        assert accesses["best-first"] <= accesses["depth-first"]
+
+    def test_phi_ablation_keeps_result_size(self):
+        result = run_experiment("ablation_phi", scale="tiny")
+        sizes = {row[2] for row in result.rows}
+        assert len(sizes) == 1
+        pages = {row[0]: row[1] for row in result.rows}
+        assert pages["with Φ pruning"] <= pages["without Φ pruning"]
+
+    def test_batch_ablation(self):
+        result = run_experiment("ablation_batch", scale="tiny")
+        accesses = {row[0]: row[2] for row in result.rows}
+        assert accesses["BATCH"] <= accesses["SINGLE"]

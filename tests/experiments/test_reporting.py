@@ -1,0 +1,41 @@
+"""Tests for the experiment reporting helpers."""
+
+from repro.experiments.reporting import format_markdown_table, format_table, format_value
+
+
+class TestFormatValue:
+    def test_integers_get_thousands_separators(self):
+        assert format_value(1234567) == "1,234,567"
+
+    def test_floats_get_three_decimals(self):
+        assert format_value(0.12345) == "0.123"
+        assert format_value(0.0) == "0"
+        assert format_value(12345.6) == "12,346"
+
+    def test_strings_and_bools_pass_through(self):
+        assert format_value("NM-CIJ") == "NM-CIJ"
+        assert format_value(True) == "True"
+
+
+class TestFormatTable:
+    def test_header_separator_and_alignment(self):
+        text = format_table(["algo", "pages"], [["NM-CIJ", 12], ["FM-CIJ", 3456]])
+        lines = text.splitlines()
+        assert lines[0].startswith("algo")
+        assert set(lines[1]) <= {"-", "+"}
+        assert "3,456" in lines[3]
+        # All rows share the same width.
+        assert len({len(line) for line in lines}) == 1
+
+    def test_empty_rows_still_render_header(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+
+class TestMarkdownTable:
+    def test_markdown_structure(self):
+        text = format_markdown_table(["x", "y"], [[1, 2.5]])
+        lines = text.splitlines()
+        assert lines[0] == "| x | y |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2.500 |"

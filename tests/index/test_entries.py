@@ -1,0 +1,56 @@
+"""Tests for R-tree entry and node primitives."""
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.index.entries import (
+    BRANCH_ENTRY_BYTES,
+    CELL_ENTRY_HEADER_BYTES,
+    CELL_VERTEX_BYTES,
+    POINT_ENTRY_BYTES,
+    BranchEntry,
+    LeafEntry,
+    Node,
+)
+
+
+class TestLeafEntry:
+    def test_for_point_builds_degenerate_mbr(self):
+        entry = LeafEntry.for_point(7, Point(3.0, 4.0))
+        assert entry.oid == 7
+        assert entry.mbr == Rect(3.0, 4.0, 3.0, 4.0)
+        assert entry.payload == Point(3.0, 4.0)
+        assert entry.size_bytes == POINT_ENTRY_BYTES
+
+    def test_for_cell_size_grows_with_vertices(self):
+        mbr = Rect(0, 0, 1, 1)
+        small = LeafEntry.for_cell(1, mbr, "cell", vertex_count=3)
+        large = LeafEntry.for_cell(2, mbr, "cell", vertex_count=8)
+        assert small.size_bytes == CELL_ENTRY_HEADER_BYTES + 3 * CELL_VERTEX_BYTES
+        assert large.size_bytes == CELL_ENTRY_HEADER_BYTES + 8 * CELL_VERTEX_BYTES
+        assert large.size_bytes > small.size_bytes
+
+    def test_for_cell_enforces_minimum_three_vertices(self):
+        entry = LeafEntry.for_cell(1, Rect(0, 0, 1, 1), "cell", vertex_count=0)
+        assert entry.size_bytes == CELL_ENTRY_HEADER_BYTES + 3 * CELL_VERTEX_BYTES
+
+
+class TestNode:
+    def test_leaf_flag_follows_level(self):
+        assert Node(0).is_leaf
+        assert not Node(1).is_leaf
+
+    def test_mbr_covers_all_entries(self):
+        node = Node(0, [LeafEntry.for_point(0, Point(0, 0)), LeafEntry.for_point(1, Point(5, 7))])
+        assert node.mbr() == Rect(0, 0, 5, 7)
+
+    def test_mbr_of_empty_node_raises(self):
+        with pytest.raises(ValueError):
+            Node(0).mbr()
+
+    def test_byte_size_leaf_vs_branch(self):
+        leaf = Node(0, [LeafEntry.for_point(i, Point(i, i)) for i in range(3)])
+        branch = Node(1, [BranchEntry(Rect(0, 0, 1, 1), child_page=i) for i in range(3)])
+        assert leaf.byte_size() == 3 * POINT_ENTRY_BYTES
+        assert branch.byte_size() == 3 * BRANCH_ENTRY_BYTES

@@ -1,0 +1,58 @@
+"""Tests for the k-closest-pairs join."""
+
+import pytest
+
+from repro.datasets.synthetic import DOMAIN, uniform_points
+from repro.datasets.workload import build_indexed_pointset
+from repro.geometry.point import dist
+from repro.join.closest_pairs import k_closest_pairs
+from repro.storage.disk import DiskManager
+
+
+def build_pair(points_p, points_q):
+    disk = DiskManager()
+    tree_p = build_indexed_pointset(disk, "RP", points_p, domain=DOMAIN)
+    tree_q = build_indexed_pointset(disk, "RQ", points_q, domain=DOMAIN)
+    return tree_p, tree_q
+
+
+class TestKClosestPairs:
+    def test_matches_exhaustive_ranking(self):
+        points_p = uniform_points(50, seed=111)
+        points_q = uniform_points(45, seed=112)
+        tree_p, tree_q = build_pair(points_p, points_q)
+        all_pairs = sorted(
+            (dist(p, q), i, j)
+            for i, p in enumerate(points_p)
+            for j, q in enumerate(points_q)
+        )
+        k = 15
+        got = k_closest_pairs(tree_p, tree_q, k)
+        assert len(got) == k
+        assert [d for d, _, _ in got] == sorted(d for d, _, _ in got)
+        expected_distances = [d for d, _, _ in all_pairs[:k]]
+        assert [d for d, _, _ in got] == pytest.approx(expected_distances)
+
+    def test_k_of_one_returns_global_closest_pair(self):
+        points_p = uniform_points(30, seed=113)
+        points_q = uniform_points(30, seed=114)
+        tree_p, tree_q = build_pair(points_p, points_q)
+        (d, p_oid, q_oid), = k_closest_pairs(tree_p, tree_q, 1)
+        best = min(
+            dist(p, q) for p in points_p for q in points_q
+        )
+        assert d == pytest.approx(best)
+        assert dist(points_p[p_oid], points_q[q_oid]) == pytest.approx(best)
+
+    def test_k_larger_than_product_returns_everything(self):
+        points_p = uniform_points(5, seed=115)
+        points_q = uniform_points(4, seed=116)
+        tree_p, tree_q = build_pair(points_p, points_q)
+        got = k_closest_pairs(tree_p, tree_q, 1000)
+        assert len(got) == 20
+
+    def test_nonpositive_k_returns_empty(self):
+        points = uniform_points(10, seed=117)
+        tree_p, tree_q = build_pair(points, points)
+        assert k_closest_pairs(tree_p, tree_q, 0) == []
+        assert k_closest_pairs(tree_p, tree_q, -2) == []

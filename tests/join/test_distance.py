@@ -1,0 +1,70 @@
+"""Tests for the ε-distance join."""
+
+import pytest
+
+from repro.datasets.synthetic import DOMAIN, uniform_points
+from repro.datasets.workload import build_indexed_pointset
+from repro.geometry.point import Point, dist
+from repro.index.rtree import RTree
+from repro.join.distance import epsilon_distance_join
+from repro.storage.disk import DiskManager
+
+
+def build_pair(points_p, points_q):
+    disk = DiskManager()
+    tree_p = build_indexed_pointset(disk, "RP", points_p, domain=DOMAIN)
+    tree_q = build_indexed_pointset(disk, "RQ", points_q, domain=DOMAIN)
+    return tree_p, tree_q
+
+
+class TestEpsilonDistanceJoin:
+    def test_matches_nested_loop(self):
+        points_p = uniform_points(80, seed=101)
+        points_q = uniform_points(70, seed=102)
+        tree_p, tree_q = build_pair(points_p, points_q)
+        epsilon = 800.0
+        expected = {
+            (i, j)
+            for i, p in enumerate(points_p)
+            for j, q in enumerate(points_q)
+            if dist(p, q) <= epsilon
+        }
+        got = {(p, q) for p, q, _ in epsilon_distance_join(tree_p, tree_q, epsilon)}
+        assert got == expected
+
+    def test_zero_epsilon_finds_only_coincident_points(self):
+        shared = Point(5000.0, 5000.0)
+        points_p = [shared, Point(1.0, 1.0)]
+        points_q = [shared, Point(9000.0, 9000.0)]
+        tree_p, tree_q = build_pair(points_p, points_q)
+        got = list(epsilon_distance_join(tree_p, tree_q, 0.0))
+        assert [(p, q) for p, q, _ in got] == [(0, 0)]
+
+    def test_negative_epsilon_rejected(self):
+        points = uniform_points(10, seed=103)
+        tree_p, tree_q = build_pair(points, points)
+        with pytest.raises(ValueError):
+            list(epsilon_distance_join(tree_p, tree_q, -1.0))
+
+    def test_empty_input_yields_nothing(self):
+        points = uniform_points(10, seed=104)
+        disk = DiskManager()
+        tree_p = build_indexed_pointset(disk, "RP", points, domain=DOMAIN)
+        empty = RTree(disk, "RQ")
+        assert list(epsilon_distance_join(tree_p, empty, 100.0)) == []
+
+    def test_reported_distances_are_correct(self):
+        points_p = uniform_points(30, seed=105)
+        points_q = uniform_points(30, seed=106)
+        tree_p, tree_q = build_pair(points_p, points_q)
+        for p_oid, q_oid, d in epsilon_distance_join(tree_p, tree_q, 1500.0):
+            assert d == pytest.approx(dist(points_p[p_oid], points_q[q_oid]))
+            assert d <= 1500.0
+
+    def test_growing_epsilon_grows_result(self):
+        points_p = uniform_points(40, seed=107)
+        points_q = uniform_points(40, seed=108)
+        tree_p, tree_q = build_pair(points_p, points_q)
+        small = len(list(epsilon_distance_join(tree_p, tree_q, 300.0)))
+        large = len(list(epsilon_distance_join(tree_p, tree_q, 2000.0)))
+        assert small <= large

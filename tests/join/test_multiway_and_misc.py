@@ -1,0 +1,130 @@
+"""Tests for the multiway CIJ extension, the lower bound and result records."""
+
+import pytest
+
+from repro.datasets.synthetic import DOMAIN, uniform_points
+from repro.datasets.workload import WorkloadConfig, build_indexed_pointset, build_workload
+from repro.join.baseline import brute_force_cij_pairs
+from repro.join.lower_bound import lower_bound_io
+from repro.join.multiway import multiway_cij
+from repro.join.result import CIJResult, JoinStats, ProgressSample
+from repro.storage.disk import DiskManager
+from repro.voronoi.diagram import brute_force_diagram
+
+
+class TestMultiwayCIJ:
+    def _indexed(self, disk, tag, points):
+        return build_indexed_pointset(disk, tag, points, domain=DOMAIN)
+
+    def test_requires_at_least_two_inputs(self):
+        disk = DiskManager()
+        tree = self._indexed(disk, "A", uniform_points(5, seed=181))
+        with pytest.raises(ValueError):
+            multiway_cij([tree])
+
+    def test_requires_shared_disk(self):
+        tree_a = self._indexed(DiskManager(), "A", uniform_points(5, seed=182))
+        tree_b = self._indexed(DiskManager(), "B", uniform_points(5, seed=183))
+        with pytest.raises(ValueError):
+            multiway_cij([tree_a, tree_b])
+
+    def test_two_way_multiway_matches_pairwise_oracle_on_overlap_pairs(self):
+        points_p = uniform_points(20, seed=184)
+        points_q = uniform_points(18, seed=185)
+        disk = DiskManager()
+        trees = [self._indexed(disk, "A", points_p), self._indexed(disk, "B", points_q)]
+        result = multiway_cij(trees, domain=DOMAIN)
+        got = {tuple(t) for t in result.pairs}
+        oracle = brute_force_cij_pairs(points_p, points_q, DOMAIN)
+        # The multiway evaluator requires a 2-D common region (it drops pairs
+        # whose cells only share a boundary), so it returns a subset of the
+        # closed-cell oracle missing at most those measure-zero pairs.
+        assert got.issubset(oracle)
+        missing = oracle - got
+        diagram_p = brute_force_diagram(points_p, DOMAIN)
+        diagram_q = brute_force_diagram(points_q, DOMAIN)
+        for p_oid, q_oid in missing:
+            region = diagram_p.cell_of(p_oid).common_region(diagram_q.cell_of(q_oid))
+            assert region.area() < 1e-6
+
+    def test_three_way_triples_are_consistent_with_pairwise_joins(self):
+        points_a = uniform_points(12, seed=186)
+        points_b = uniform_points(10, seed=187)
+        points_c = uniform_points(9, seed=188)
+        disk = DiskManager()
+        trees = [
+            self._indexed(disk, "A", points_a),
+            self._indexed(disk, "B", points_b),
+            self._indexed(disk, "C", points_c),
+        ]
+        result = multiway_cij(trees, domain=DOMAIN)
+        triples = {tuple(t) for t in result.pairs}
+        assert triples, "three-way CIJ of covering pointsets cannot be empty"
+        cij_ab = brute_force_cij_pairs(points_a, points_b, DOMAIN)
+        cij_ac = brute_force_cij_pairs(points_a, points_c, DOMAIN)
+        cij_bc = brute_force_cij_pairs(points_b, points_c, DOMAIN)
+        for a, b, c in triples:
+            assert (a, b) in cij_ab
+            assert (a, c) in cij_ac
+            assert (b, c) in cij_bc
+
+    def test_three_way_triples_have_a_common_witness_region(self):
+        points_a = uniform_points(8, seed=189)
+        points_b = uniform_points(7, seed=190)
+        points_c = uniform_points(6, seed=191)
+        disk = DiskManager()
+        trees = [
+            self._indexed(disk, "A", points_a),
+            self._indexed(disk, "B", points_b),
+            self._indexed(disk, "C", points_c),
+        ]
+        result = multiway_cij(trees, domain=DOMAIN)
+        diagram_a = brute_force_diagram(points_a, DOMAIN)
+        diagram_b = brute_force_diagram(points_b, DOMAIN)
+        diagram_c = brute_force_diagram(points_c, DOMAIN)
+        for a, b, c in (tuple(t) for t in result.pairs):
+            region = diagram_a.cell_of(a).common_region(diagram_b.cell_of(b))
+            region = region.intersection(diagram_c.cell_of(c).polygon)
+            assert not region.is_empty()
+
+
+class TestLowerBound:
+    def test_lower_bound_is_sum_of_node_counts(self, small_workload):
+        lb = lower_bound_io(small_workload.tree_p, small_workload.tree_q)
+        assert lb == small_workload.tree_p.node_count() + small_workload.tree_q.node_count()
+
+    def test_lower_bound_counts_no_io(self, small_workload):
+        small_workload.disk.reset_counters()
+        lower_bound_io(small_workload.tree_p, small_workload.tree_q)
+        assert small_workload.disk.counters.page_accesses == 0
+
+
+class TestResultRecords:
+    def test_false_hit_ratio_definition(self):
+        stats = JoinStats(algorithm="NM-CIJ", filter_candidates=110, filter_true_hits=100)
+        assert stats.false_hit_ratio == pytest.approx(0.1)
+
+    def test_false_hit_ratio_with_no_hits_is_zero(self):
+        assert JoinStats(algorithm="NM-CIJ").false_hit_ratio == 0.0
+
+    def test_totals_combine_phases(self):
+        stats = JoinStats(
+            algorithm="FM-CIJ",
+            mat_page_accesses=10,
+            join_page_accesses=5,
+            mat_cpu_seconds=1.0,
+            join_cpu_seconds=0.5,
+        )
+        assert stats.total_page_accesses == 15
+        assert stats.total_cpu_seconds == pytest.approx(1.5)
+
+    def test_progress_recording(self):
+        stats = JoinStats(algorithm="NM-CIJ")
+        stats.record_progress(5, 0)
+        stats.record_progress(9, 12)
+        assert stats.progress == [ProgressSample(5, 0), ProgressSample(9, 12)]
+
+    def test_result_pair_set_and_len(self):
+        result = CIJResult(pairs=[(1, 2), (1, 2), (3, 4)], stats=JoinStats(algorithm="X"))
+        assert len(result) == 3
+        assert result.pair_set() == {(1, 2), (3, 4)}

@@ -1,0 +1,90 @@
+"""Tests for the synchronous-traversal intersection join."""
+
+import pytest
+
+from repro.datasets.synthetic import DOMAIN, uniform_points
+from repro.geometry.point import Point
+from repro.geometry.polygon import ConvexPolygon
+from repro.geometry.rect import Rect
+from repro.index.bulkload import bulk_load_records
+from repro.index.entries import LeafEntry
+from repro.index.rtree import RTree
+from repro.join.synchronous import count_join_pairs, synchronous_join
+from repro.storage.disk import DiskManager
+
+
+def rect_tree(disk, tag, rects, leaf_capacity=4):
+    """Index a list of rectangles (as degenerate 'cells')."""
+    entries = [
+        LeafEntry(i, rect, ConvexPolygon.from_rect(rect), size_bytes=40)
+        for i, rect in enumerate(rects)
+    ]
+    return bulk_load_records(disk, tag, entries)
+
+
+class TestSynchronousJoin:
+    def test_matches_nested_loop_on_random_rectangles(self):
+        import random
+
+        rng = random.Random(91)
+        def random_rects(count, seed_offset):
+            rects = []
+            for _ in range(count):
+                x = rng.uniform(0, 9000)
+                y = rng.uniform(0, 9000)
+                rects.append(Rect(x, y, x + rng.uniform(10, 800), y + rng.uniform(10, 800)))
+            return rects
+
+        rects_a = random_rects(60, 0)
+        rects_b = random_rects(50, 1)
+        disk = DiskManager()
+        tree_a = rect_tree(disk, "A", rects_a)
+        tree_b = rect_tree(disk, "B", rects_b)
+        expected = {
+            (i, j)
+            for i, ra in enumerate(rects_a)
+            for j, rb in enumerate(rects_b)
+            if ra.intersects(rb)
+        }
+        got = {(ea.oid, eb.oid) for ea, eb in synchronous_join(tree_a, tree_b)}
+        assert got == expected
+
+    def test_refinement_predicate_filters_pairs(self):
+        rects_a = [Rect(0, 0, 10, 10), Rect(20, 20, 30, 30)]
+        rects_b = [Rect(5, 5, 15, 15), Rect(25, 25, 35, 35)]
+        disk = DiskManager()
+        tree_a = rect_tree(disk, "A", rects_a)
+        tree_b = rect_tree(disk, "B", rects_b)
+        assert count_join_pairs(tree_a, tree_b) == 2
+        none = count_join_pairs(tree_a, tree_b, refine=lambda a, b: False)
+        assert none == 0
+
+    def test_empty_inputs_yield_nothing(self):
+        disk = DiskManager()
+        tree_a = rect_tree(disk, "A", [Rect(0, 0, 1, 1)])
+        empty = RTree(disk, "B")
+        assert list(synchronous_join(tree_a, empty)) == []
+        assert list(synchronous_join(empty, tree_a)) == []
+
+    def test_trees_of_different_heights(self):
+        disk = DiskManager()
+        tall_rects = [Rect(i * 10.0, 0.0, i * 10.0 + 5.0, 5.0) for i in range(64)]
+        short_rects = [Rect(100.0, 0.0, 400.0, 5.0)]
+        tall = rect_tree(disk, "A", tall_rects, leaf_capacity=4)
+        short = rect_tree(disk, "B", short_rects)
+        assert tall.height > short.height
+        expected = sum(1 for r in tall_rects if r.intersects(short_rects[0]))
+        assert count_join_pairs(tall, short) == expected
+        assert count_join_pairs(short, tall) == expected
+
+    def test_point_trees_join_on_coincident_points(self):
+        points = uniform_points(100, seed=92)
+        disk = DiskManager()
+        tree_a = RTree(disk, "A")
+        tree_b = RTree(disk, "B")
+        for oid, point in enumerate(points):
+            tree_a.insert_point(oid, point)
+            # B holds every other point of A, so exactly those 50 coincide.
+            if oid % 2 == 0:
+                tree_b.insert_point(oid, point)
+        assert count_join_pairs(tree_a, tree_b) == 50

@@ -1,0 +1,77 @@
+"""Tests for the time-parameterised NN query used by TP-VOR."""
+
+import pytest
+
+from repro.datasets.synthetic import DOMAIN, uniform_points
+from repro.datasets.workload import build_indexed_pointset
+from repro.geometry.point import Point, dist
+from repro.index.rtree import RTree
+from repro.query.tpnn import crossing_parameter, tp_nearest_neighbor
+from repro.storage.disk import DiskManager
+
+
+class TestCrossingParameter:
+    def test_halfway_crossing(self):
+        # Moving from (0,0) towards (10,0); the bisector with (4,0) is x=2,
+        # which is reached at t = 0.2.
+        t = crossing_parameter(Point(0, 0), Point(10, 0), Point(4, 0))
+        assert t == pytest.approx(0.2)
+
+    def test_point_behind_never_crosses(self):
+        t = crossing_parameter(Point(0, 0), Point(10, 0), Point(-5, 0))
+        assert t == float("inf")
+
+    def test_perpendicular_point_never_crosses(self):
+        t = crossing_parameter(Point(0, 0), Point(10, 0), Point(0, 7))
+        assert t == float("inf")
+
+    def test_crossing_location_is_equidistant(self):
+        site, target, other = Point(1, 2), Point(9, 8), Point(6, 1)
+        t = crossing_parameter(site, target, other)
+        loc = Point(site.x + t * (target.x - site.x), site.y + t * (target.y - site.y))
+        assert dist(loc, site) == pytest.approx(dist(loc, other), rel=1e-9)
+
+
+class TestTPNNQuery:
+    def test_finds_first_bisector_crossed(self):
+        points = [Point(0.0, 0.0), Point(10.0, 0.0), Point(20.0, 0.0), Point(6.0, 50.0)]
+        tree = build_indexed_pointset(DiskManager(), "RP", points, domain=DOMAIN)
+        hit = tp_nearest_neighbor(tree, points[0], Point(100.0, 0.0), exclude_oid=0, t_max=1.0)
+        assert hit is not None
+        t, entry = hit
+        assert entry.oid == 1  # the nearest bisector along +x belongs to (10, 0)
+        assert t == pytest.approx(0.05)
+
+    def test_returns_none_when_no_crossing_before_target(self):
+        points = [Point(0.0, 0.0), Point(5000.0, 0.0)]
+        tree = build_indexed_pointset(DiskManager(), "RP", points, domain=DOMAIN)
+        # Target is well before the bisector at x=2500.
+        assert tp_nearest_neighbor(tree, points[0], Point(100.0, 0.0), exclude_oid=0) is None
+
+    def test_empty_tree_and_degenerate_direction(self):
+        tree = RTree(DiskManager(), "RP")
+        assert tp_nearest_neighbor(tree, Point(0, 0), Point(1, 1)) is None
+        points = [Point(0.0, 0.0), Point(5.0, 5.0)]
+        full = build_indexed_pointset(DiskManager(), "RP", points, domain=DOMAIN)
+        assert tp_nearest_neighbor(full, points[0], points[0], exclude_oid=0) is None
+
+    def test_matches_linear_scan_on_random_data(self):
+        points = uniform_points(200, seed=17)
+        tree = build_indexed_pointset(DiskManager(), "RP", points, domain=DOMAIN)
+        site = points[0]
+        target = Point(site.x + 2000.0, site.y + 1500.0)
+        expected_t = float("inf")
+        expected_oid = None
+        for oid, other in enumerate(points):
+            if oid == 0:
+                continue
+            t = crossing_parameter(site, target, other)
+            if t < expected_t:
+                expected_t, expected_oid = t, oid
+        hit = tp_nearest_neighbor(tree, site, target, exclude_oid=0, t_max=1.0)
+        if expected_t >= 1.0:
+            assert hit is None
+        else:
+            assert hit is not None
+            assert hit[1].oid == expected_oid
+            assert hit[0] == pytest.approx(expected_t)

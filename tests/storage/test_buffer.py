@@ -1,0 +1,84 @@
+"""Tests for the LRU buffer."""
+
+import pytest
+
+from repro.storage.buffer import LRUBuffer
+
+
+class TestLRUBuffer:
+    def test_zero_capacity_never_hits(self):
+        buffer = LRUBuffer(0)
+        assert buffer.access("a") is False
+        assert buffer.access("a") is False
+        assert len(buffer) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LRUBuffer(-1)
+
+    def test_repeated_access_hits(self):
+        buffer = LRUBuffer(2)
+        assert buffer.access(1) is False
+        assert buffer.access(1) is True
+
+    def test_lru_eviction_order(self):
+        buffer = LRUBuffer(2)
+        buffer.access(1)
+        buffer.access(2)
+        buffer.access(3)  # evicts 1
+        assert buffer.access(1) is False  # miss: 1 was evicted, evicts 2
+        assert buffer.access(3) is True
+        assert buffer.access(2) is False
+
+    def test_access_refreshes_recency(self):
+        buffer = LRUBuffer(2)
+        buffer.access(1)
+        buffer.access(2)
+        buffer.access(1)  # 1 becomes most recent
+        buffer.access(3)  # evicts 2, not 1
+        assert buffer.access(1) is True
+        assert buffer.access(2) is False
+
+    def test_contains_and_contents(self):
+        buffer = LRUBuffer(3)
+        for page in ("a", "b", "c"):
+            buffer.access(page)
+        assert "b" in buffer
+        assert buffer.contents() == ["a", "b", "c"]
+
+    def test_invalidate_removes_page(self):
+        buffer = LRUBuffer(2)
+        buffer.access("x")
+        buffer.invalidate("x")
+        assert "x" not in buffer
+        assert buffer.access("x") is False
+
+    def test_invalidate_missing_page_is_noop(self):
+        buffer = LRUBuffer(2)
+        buffer.invalidate("never-seen")
+        assert len(buffer) == 0
+
+    def test_clear_empties_buffer(self):
+        buffer = LRUBuffer(2)
+        buffer.access(1)
+        buffer.clear()
+        assert len(buffer) == 0
+        assert buffer.access(1) is False
+
+    def test_resize_shrinks_and_evicts(self):
+        buffer = LRUBuffer(4)
+        for page in range(4):
+            buffer.access(page)
+        buffer.resize(2)
+        assert len(buffer) == 2
+        assert buffer.contents() == [2, 3]
+
+    def test_resize_to_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LRUBuffer(2).resize(-5)
+
+    def test_capacity_never_exceeded(self):
+        buffer = LRUBuffer(3)
+        for page in range(100):
+            buffer.access(page)
+            assert len(buffer) <= 3

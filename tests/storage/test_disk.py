@@ -1,0 +1,106 @@
+"""Tests for the simulated disk manager."""
+
+import pytest
+
+from repro.storage.disk import DiskManager
+
+
+class TestDiskManager:
+    def test_invalid_page_size_rejected(self):
+        with pytest.raises(ValueError):
+            DiskManager(page_size=0)
+
+    def test_allocate_charges_a_write(self):
+        disk = DiskManager()
+        disk.allocate("RP", payload={"node": 1})
+        assert disk.counters.writes == 1
+        assert disk.counters.by_tag == {"RP": 1}
+
+    def test_read_returns_payload_and_charges_miss(self):
+        disk = DiskManager(buffer_pages=0)
+        page = disk.allocate("RP", payload="hello")
+        assert disk.read(page) == "hello"
+        assert disk.counters.reads == 1
+
+    def test_buffered_read_is_free_after_first_access(self):
+        disk = DiskManager(buffer_pages=4)
+        page = disk.allocate("RP", payload="x")
+        disk.reset_counters()
+        disk.buffer.clear()
+        disk.read(page)
+        disk.read(page)
+        assert disk.counters.reads == 1
+        assert disk.counters.buffer_hits == 1
+        assert disk.counters.logical_reads == 2
+
+    def test_write_updates_payload(self):
+        disk = DiskManager()
+        page = disk.allocate("RP", payload=1)
+        disk.write(page, payload=2)
+        assert disk.peek(page) == 2
+        assert disk.counters.writes == 2
+
+    def test_peek_does_not_charge(self):
+        disk = DiskManager()
+        page = disk.allocate("RP", payload=3)
+        disk.reset_counters()
+        assert disk.peek(page) == 3
+        assert disk.counters.page_accesses == 0
+
+    def test_reading_unknown_page_raises(self):
+        disk = DiskManager()
+        with pytest.raises(KeyError):
+            disk.read(999)
+
+    def test_free_releases_page(self):
+        disk = DiskManager()
+        page = disk.allocate("RP", payload=3)
+        disk.free(page)
+        with pytest.raises(KeyError):
+            disk.read(page)
+
+    def test_page_count_and_data_size_by_tag(self):
+        disk = DiskManager(page_size=512)
+        disk.allocate("RP", payload=1)
+        disk.allocate("RP", payload=2, size_bytes=100)
+        disk.allocate("RQ", payload=3)
+        assert disk.page_count() == 3
+        assert disk.page_count("RP") == 2
+        assert disk.data_size_bytes("RP") == 512 + 100
+
+    def test_set_buffer_fraction_sizes_relative_to_pages(self):
+        disk = DiskManager()
+        for _ in range(100):
+            disk.allocate("RP", payload=0)
+        disk.set_buffer_fraction(0.05)
+        assert disk.buffer.capacity == 5
+        disk.set_buffer_fraction(0.0)
+        assert disk.buffer.capacity == 0
+
+    def test_negative_buffer_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            DiskManager().set_buffer_fraction(-0.1)
+
+    def test_suspend_io_accounting(self):
+        disk = DiskManager()
+        with disk.suspend_io_accounting():
+            page = disk.allocate("RP", payload="quiet")
+            disk.read(page)
+        assert disk.counters.page_accesses == 0
+        disk.read(page)
+        assert disk.counters.page_accesses == 1
+
+    def test_suspension_nests_and_restores(self):
+        disk = DiskManager()
+        with disk.suspend_io_accounting():
+            with disk.suspend_io_accounting():
+                disk.allocate("RP", payload=1)
+            disk.allocate("RP", payload=2)
+        assert disk.counters.page_accesses == 0
+        disk.allocate("RP", payload=3)
+        assert disk.counters.page_accesses == 1
+
+    def test_resize_buffer_delegates(self):
+        disk = DiskManager(buffer_pages=2)
+        disk.resize_buffer(10)
+        assert disk.buffer.capacity == 10

@@ -1,0 +1,62 @@
+"""Tests for the top-level public API (repro.common_influence_join)."""
+
+import pytest
+
+import repro
+from repro import DOMAIN, brute_force_cij, common_influence_join, uniform_points
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+
+class TestCommonInfluenceJoin:
+    def test_default_method_matches_oracle(self):
+        points_p = uniform_points(50, seed=201)
+        points_q = uniform_points(45, seed=202)
+        result = common_influence_join(points_p, points_q)
+        oracle = brute_force_cij(points_p, points_q, DOMAIN)
+        assert result.pair_set() == oracle.pair_set()
+        assert result.stats.algorithm == "NM-CIJ"
+
+    def test_all_methods_agree(self):
+        points_p = uniform_points(40, seed=203)
+        points_q = uniform_points(35, seed=204)
+        results = {
+            method: common_influence_join(points_p, points_q, method=method).pair_set()
+            for method in ("nm", "pm", "fm")
+        }
+        assert results["nm"] == results["pm"] == results["fm"]
+
+    def test_method_is_case_insensitive(self):
+        points_p = uniform_points(10, seed=205)
+        points_q = uniform_points(10, seed=206)
+        result = common_influence_join(points_p, points_q, method="FM")
+        assert result.stats.algorithm == "FM-CIJ"
+
+    def test_unknown_method_rejected(self):
+        points = uniform_points(5, seed=207)
+        with pytest.raises(ValueError):
+            common_influence_join(points, points, method="quantum")
+
+    def test_empty_inputs_rejected(self):
+        points = uniform_points(5, seed=208)
+        with pytest.raises(ValueError):
+            common_influence_join([], points)
+        with pytest.raises(ValueError):
+            common_influence_join(points, [])
+
+    def test_domain_extends_to_cover_out_of_range_data(self):
+        points_p = [Point(-500.0, 20.0), Point(400.0, 900.0)]
+        points_q = [Point(11_000.0, 5000.0), Point(300.0, 200.0)]
+        result = common_influence_join(points_p, points_q)
+        assert len(result.pairs) >= 2
+
+    def test_pair_ids_are_positional_indices(self):
+        points_p = [Point(100.0, 100.0)]
+        points_q = [Point(9000.0, 9000.0), Point(200.0, 150.0)]
+        result = common_influence_join(points_p, points_q)
+        assert result.pair_set() == {(0, 0), (0, 1)}
+
+    def test_version_and_public_names_exported(self):
+        assert repro.__version__
+        for name in repro.__all__:
+            assert hasattr(repro, name), name

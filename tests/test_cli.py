@@ -1,0 +1,47 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_command_parses_scale(self):
+        args = build_parser().parse_args(["run", "fig7", "--scale", "tiny"])
+        assert args.command == "run"
+        assert args.experiment == "fig7"
+        assert args.scale == "tiny"
+
+    def test_join_command_defaults(self):
+        args = build_parser().parse_args(["join"])
+        assert args.n_p == 500 and args.n_q == 500 and args.method == "nm"
+
+
+class TestCommands:
+    def test_list_prints_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7" in out and "table3" in out
+
+    def test_run_prints_a_table(self, capsys):
+        assert main(["run", "fig10a", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "false hit ratio" in out.lower()
+
+    def test_run_unknown_experiment_raises(self):
+        with pytest.raises(ValueError):
+            main(["run", "fig99"])
+
+    def test_join_reports_pair_count(self, capsys):
+        assert main(["join", "--n-p", "40", "--n-q", "30", "--method", "nm"]) == 0
+        out = capsys.readouterr().out
+        assert "result pairs" in out
+        assert "page accesses" in out
+
+    def test_invalid_join_method_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["join", "--method", "bogus"])

@@ -1,0 +1,44 @@
+"""Tests for the quadrant-NN Voronoi-cell approximation."""
+
+from repro.datasets.synthetic import DOMAIN, uniform_points
+from repro.datasets.workload import build_indexed_pointset
+from repro.geometry.point import Point
+from repro.index.rtree import RTree
+from repro.storage.disk import DiskManager
+from repro.voronoi.approx import approximate_cell_quadrants
+from repro.voronoi.single import compute_voronoi_cell
+
+
+def indexed(points):
+    disk = DiskManager()
+    tree = build_indexed_pointset(disk, "RP", points, domain=DOMAIN)
+    return disk, tree
+
+
+class TestQuadrantApproximation:
+    def test_approximation_is_a_superset_of_exact_cell(self):
+        points = uniform_points(200, seed=51)
+        _, tree = indexed(points)
+        for oid in (0, 50, 120, 199):
+            approx = approximate_cell_quadrants(tree, points[oid], DOMAIN, site_oid=oid)
+            exact = compute_voronoi_cell(tree, points[oid], DOMAIN, site_oid=oid)
+            assert approx.area() >= exact.area() - 1e-6
+            for vertex in exact.polygon.vertices:
+                assert approx.polygon.contains_point(vertex, eps=1e-5)
+
+    def test_approximation_contains_site(self):
+        points = uniform_points(100, seed=52)
+        _, tree = indexed(points)
+        approx = approximate_cell_quadrants(tree, points[3], DOMAIN, site_oid=3)
+        assert approx.contains(points[3])
+
+    def test_empty_tree_returns_domain(self):
+        tree = RTree(DiskManager(), "RP")
+        approx = approximate_cell_quadrants(tree, Point(1.0, 1.0), DOMAIN)
+        assert approx.area() == DOMAIN.area()
+
+    def test_single_other_point_halves_domain(self):
+        points = [Point(2500.0, 5000.0), Point(7500.0, 5000.0)]
+        _, tree = indexed(points)
+        approx = approximate_cell_quadrants(tree, points[0], DOMAIN, site_oid=0)
+        assert abs(approx.area() - DOMAIN.area() / 2) < 1e-6

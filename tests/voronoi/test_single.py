@@ -1,0 +1,115 @@
+"""Tests for BF-VOR (Algorithm 1)."""
+
+import random
+
+import pytest
+
+from repro.datasets.synthetic import DOMAIN, uniform_points
+from repro.datasets.workload import build_indexed_pointset
+from repro.geometry.point import Point, dist
+from repro.index.rtree import RTree
+from repro.storage.disk import DiskManager
+from repro.voronoi.diagram import brute_force_cell
+from repro.voronoi.single import CellComputationStats, compute_voronoi_cell
+from repro.storage.disk import DiskManager
+
+
+def indexed(points):
+    disk = DiskManager()
+    tree = build_indexed_pointset(disk, "RP", points, domain=DOMAIN)
+    return disk, tree
+
+
+def assert_same_cell(cell_a, cell_b, rel=1e-6):
+    """Two cells are the same polygon if each contains the other's vertices."""
+    assert cell_a.area() == pytest.approx(cell_b.area(), rel=rel, abs=1e-3)
+    for v in cell_a.polygon.vertices:
+        assert cell_b.polygon.contains_point(v, eps=1e-5)
+    for v in cell_b.polygon.vertices:
+        assert cell_a.polygon.contains_point(v, eps=1e-5)
+
+
+class TestBFVorCorrectness:
+    def test_matches_brute_force_on_random_data(self):
+        points = uniform_points(150, seed=21)
+        _, tree = indexed(points)
+        rng = random.Random(3)
+        for oid in rng.sample(range(len(points)), 15):
+            exact = compute_voronoi_cell(tree, points[oid], DOMAIN, site_oid=oid)
+            oracle = brute_force_cell(points[oid], points, DOMAIN, oid=oid)
+            assert_same_cell(exact, oracle)
+
+    def test_cell_contains_its_site(self):
+        points = uniform_points(80, seed=22)
+        _, tree = indexed(points)
+        for oid in (0, 10, 40, 79):
+            cell = compute_voronoi_cell(tree, points[oid], DOMAIN, site_oid=oid)
+            assert cell.contains(points[oid])
+
+    def test_cell_of_external_point_is_well_defined(self):
+        points = uniform_points(50, seed=23)
+        _, tree = indexed(points)
+        external = Point(5000.0, 5000.0)
+        cell = compute_voronoi_cell(tree, external, DOMAIN)
+        oracle = brute_force_cell(external, points + [external], DOMAIN)
+        assert_same_cell(cell, oracle)
+
+    def test_two_point_dataset_splits_domain_in_half(self):
+        points = [Point(2500.0, 5000.0), Point(7500.0, 5000.0)]
+        _, tree = indexed(points)
+        cell = compute_voronoi_cell(tree, points[0], DOMAIN, site_oid=0)
+        assert cell.area() == pytest.approx(DOMAIN.area() / 2, rel=1e-9)
+
+    def test_empty_tree_gives_whole_domain(self):
+        tree = RTree(DiskManager(), "RP")
+        cell = compute_voronoi_cell(tree, Point(1.0, 1.0), DOMAIN)
+        assert cell.area() == pytest.approx(DOMAIN.area())
+
+    def test_depth_first_visit_order_gives_same_cell(self):
+        points = uniform_points(120, seed=24)
+        _, tree = indexed(points)
+        for oid in (5, 60, 110):
+            best = compute_voronoi_cell(tree, points[oid], DOMAIN, site_oid=oid)
+            dfs = compute_voronoi_cell(
+                tree, points[oid], DOMAIN, site_oid=oid, visit_order="depth-first"
+            )
+            assert_same_cell(best, dfs)
+
+    def test_unknown_visit_order_rejected(self):
+        points = uniform_points(10, seed=25)
+        _, tree = indexed(points)
+        with pytest.raises(ValueError):
+            compute_voronoi_cell(tree, points[0], DOMAIN, site_oid=0, visit_order="random")
+
+
+class TestBFVorCost:
+    def test_each_node_read_at_most_once(self):
+        points = uniform_points(400, seed=26)
+        disk, tree = indexed(points)
+        disk.buffer.clear()
+        disk.reset_counters()
+        compute_voronoi_cell(tree, points[0], DOMAIN, site_oid=0)
+        assert disk.counters.logical_reads <= tree.node_count()
+
+    def test_best_first_reads_no_more_nodes_than_depth_first(self):
+        points = uniform_points(400, seed=27)
+        disk, tree = indexed(points)
+        totals = {}
+        for order in ("best-first", "depth-first"):
+            disk.buffer.clear()
+            disk.reset_counters()
+            for oid in (3, 100, 250):
+                compute_voronoi_cell(tree, points[oid], DOMAIN, site_oid=oid, visit_order=order)
+            totals[order] = disk.counters.logical_reads
+        assert totals["best-first"] <= totals["depth-first"]
+
+    def test_stats_are_accumulated(self):
+        points = uniform_points(100, seed=28)
+        _, tree = indexed(points)
+        stats = CellComputationStats()
+        compute_voronoi_cell(tree, points[0], DOMAIN, site_oid=0, stats=stats)
+        assert stats.heap_pops > 0
+        assert stats.refinements >= 3
+        other = CellComputationStats(heap_pops=1)
+        other.merge(stats)
+        assert other.heap_pops == stats.heap_pops + 1

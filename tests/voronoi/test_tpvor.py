@@ -1,0 +1,65 @@
+"""Tests for the TP-VOR baseline."""
+
+import random
+
+from repro.datasets.synthetic import DOMAIN, uniform_points
+from repro.datasets.workload import build_indexed_pointset
+from repro.geometry.point import Point
+from repro.storage.disk import DiskManager
+from repro.voronoi.single import compute_voronoi_cell
+from repro.voronoi.tpvor import TPVorStats, compute_voronoi_cell_tpvor
+from tests.voronoi.test_single import assert_same_cell
+
+
+def indexed(points):
+    disk = DiskManager()
+    tree = build_indexed_pointset(disk, "RP", points, domain=DOMAIN)
+    return disk, tree
+
+
+class TestTPVorCorrectness:
+    def test_matches_bf_vor_on_random_data(self):
+        points = uniform_points(150, seed=41)
+        _, tree = indexed(points)
+        rng = random.Random(4)
+        for oid in rng.sample(range(len(points)), 10):
+            tp = compute_voronoi_cell_tpvor(tree, points[oid], DOMAIN, site_oid=oid)
+            bf = compute_voronoi_cell(tree, points[oid], DOMAIN, site_oid=oid)
+            assert_same_cell(tp, bf)
+
+    def test_two_point_dataset(self):
+        points = [Point(2000.0, 2000.0), Point(8000.0, 8000.0)]
+        _, tree = indexed(points)
+        cell = compute_voronoi_cell_tpvor(tree, points[0], DOMAIN, site_oid=0)
+        assert cell.contains(points[0])
+        assert not cell.contains(points[1])
+
+    def test_stats_count_queries_and_refinements(self):
+        points = uniform_points(100, seed=42)
+        _, tree = indexed(points)
+        stats = TPVorStats()
+        compute_voronoi_cell_tpvor(tree, points[0], DOMAIN, site_oid=0, stats=stats)
+        assert stats.tpnn_queries >= stats.refinements
+        assert stats.refinements >= 3
+
+
+class TestTPVorCost:
+    def test_tpvor_needs_more_node_reads_than_bfvor(self):
+        """The comparison behind Figure 5: multiple traversals are costlier."""
+        points = uniform_points(400, seed=43)
+        disk, tree = indexed(points)
+        sample = random.Random(5).sample(range(len(points)), 10)
+
+        disk.buffer.clear()
+        disk.reset_counters()
+        for oid in sample:
+            compute_voronoi_cell_tpvor(tree, points[oid], DOMAIN, site_oid=oid)
+        tpvor_reads = disk.counters.logical_reads
+
+        disk.buffer.clear()
+        disk.reset_counters()
+        for oid in sample:
+            compute_voronoi_cell(tree, points[oid], DOMAIN, site_oid=oid)
+        bfvor_reads = disk.counters.logical_reads
+
+        assert bfvor_reads < tpvor_reads

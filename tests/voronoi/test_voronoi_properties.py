@@ -1,0 +1,73 @@
+"""Property-based tests for the R-tree Voronoi cell algorithms."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.datasets.synthetic import DOMAIN
+from repro.datasets.workload import build_indexed_pointset
+from repro.storage.disk import DiskManager
+from repro.voronoi.batch import compute_voronoi_cells
+from repro.voronoi.diagram import brute_force_cell
+from repro.voronoi.single import compute_voronoi_cell
+from repro.voronoi.tpvor import compute_voronoi_cell_tpvor
+from tests.conftest import distinct_pointsets
+
+
+def indexed(points):
+    disk = DiskManager()
+    tree = build_indexed_pointset(disk, "RP", points, domain=DOMAIN, bulk=False)
+    return tree
+
+
+class TestCellAlgorithmEquivalence:
+    @given(distinct_pointsets(min_size=2, max_size=14))
+    @settings(max_examples=40, deadline=None)
+    def test_bfvor_equals_brute_force(self, points):
+        tree = indexed(points)
+        for oid in (0, len(points) - 1):
+            exact = compute_voronoi_cell(tree, points[oid], DOMAIN, site_oid=oid)
+            oracle = brute_force_cell(points[oid], points, DOMAIN, oid=oid)
+            assert exact.area() == pytest.approx(oracle.area(), rel=1e-6, abs=1e-3)
+
+    @given(distinct_pointsets(min_size=2, max_size=10))
+    @settings(max_examples=25, deadline=None)
+    def test_tpvor_equals_brute_force(self, points):
+        tree = indexed(points)
+        oid = 0
+        tp = compute_voronoi_cell_tpvor(tree, points[oid], DOMAIN, site_oid=oid)
+        oracle = brute_force_cell(points[oid], points, DOMAIN, oid=oid)
+        assert tp.area() == pytest.approx(oracle.area(), rel=1e-6, abs=1e-3)
+
+    @given(distinct_pointsets(min_size=3, max_size=12))
+    @settings(max_examples=30, deadline=None)
+    def test_batch_equals_per_point(self, points):
+        tree = indexed(points)
+        group = [(oid, point) for oid, point in enumerate(points[: len(points) // 2 + 1])]
+        batch = compute_voronoi_cells(tree, group, DOMAIN)
+        for oid, site in group:
+            single = compute_voronoi_cell(tree, site, DOMAIN, site_oid=oid)
+            assert batch[oid].area() == pytest.approx(single.area(), rel=1e-6, abs=1e-3)
+
+
+class TestCellInvariants:
+    @given(distinct_pointsets(min_size=2, max_size=14))
+    @settings(max_examples=40, deadline=None)
+    def test_cells_contain_sites_and_tile_domain(self, points):
+        tree = indexed(points)
+        cells = compute_voronoi_cells(tree, list(enumerate(points)), DOMAIN)
+        total = 0.0
+        for oid, site in enumerate(points):
+            assert cells[oid].contains(site)
+            total += cells[oid].area()
+        assert total == pytest.approx(DOMAIN.area(), rel=1e-6)
+
+    @given(distinct_pointsets(min_size=2, max_size=10))
+    @settings(max_examples=30, deadline=None)
+    def test_cells_have_disjoint_interiors(self, points):
+        tree = indexed(points)
+        cells = compute_voronoi_cells(tree, list(enumerate(points)), DOMAIN)
+        values = list(cells.values())
+        for i in range(len(values)):
+            for j in range(i + 1, len(values)):
+                overlap = values[i].common_region(values[j])
+                assert overlap.area() <= 1e-3
