@@ -21,7 +21,20 @@ import pytest
 
 from repro.experiments import run_experiment
 
-RESULTS_DIR = Path(__file__).parent / "results"
+BENCH_DIR = Path(__file__).parent
+RESULTS_DIR = BENCH_DIR / "results"
+
+
+def pytest_collection_modifyitems(items):
+    """Mark everything under benchmarks/ with the ``bench`` marker.
+
+    The fast tier can then exclude the whole artefact suite with
+    ``pytest -m "not bench"`` (see pytest.ini); CI runs the benchmarks in a
+    separate, non-blocking job.
+    """
+    for item in items:
+        if BENCH_DIR in Path(str(item.fspath)).parents:
+            item.add_marker(pytest.mark.bench)
 
 #: Benchmark scale; see repro.experiments.harness.SCALES.
 BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "tiny")

@@ -9,16 +9,22 @@ from repro.voronoi.diagram import compute_voronoi_diagram
 def test_fig6_diagram_scaling(benchmark, experiment_runner):
     result = experiment_runner("fig6")
     by_size = {}
-    for datasize, method, pages, cpu in result.rows:
-        by_size.setdefault(datasize, {})[method] = (pages, cpu)
+    for datasize, method, pages, heap_pops, clip_ops, _cpu in result.rows:
+        by_size.setdefault(datasize, {})[method] = (pages, heap_pops, clip_ops)
     for datasize, methods in by_size.items():
         # Paper claims: both index-driven builders stay close to LB in I/O,
         # and BATCH never does worse than ITER.
         assert methods["LB"][0] <= methods["BATCH"][0] <= methods["ITER"][0]
+        # The CPU claim (Figure 6b: BATCH wins, increasingly with datasize)
+        # is asserted on the deterministic work counters, not on wall-clock
+        # time, which is load-dependent and made this test flaky under a
+        # full parallel suite: one best-first traversal per leaf group pops
+        # far fewer heap entries than one traversal per point.
+        assert methods["BATCH"][1] <= methods["ITER"][1]
     largest = max(by_size)
-    # CPU gap (BATCH faster) widens with datasize; at the largest size the
-    # ordering must hold.
-    assert by_size[largest]["BATCH"][1] <= by_size[largest]["ITER"][1] * 1.5
+    # The traversal saving must be substantial at the largest size, not a
+    # rounding artefact: BATCH pops at most half of ITER's heap entries.
+    assert by_size[largest]["BATCH"][1] <= by_size[largest]["ITER"][1] * 0.5
 
     # Benchmark: BATCH diagram construction on a fixed-size input.
     points = uniform_points(400, seed=6)

@@ -14,10 +14,12 @@ def test_fig7_cost_breakdown(benchmark, experiment_runner):
     # All three algorithms report the same number of result pairs.
     assert rows["NM-CIJ"][6] == rows["PM-CIJ"][6] == rows["FM-CIJ"][6]
     # (b) CPU: NM-CIJ is the most CPU-intensive of the three (the paper
-    # reports a 10-20% gap; the interpreted-Python gap is larger).
-    nm_cpu = rows["NM-CIJ"][4] + rows["NM-CIJ"][5]
-    fm_cpu = rows["FM-CIJ"][4] + rows["FM-CIJ"][5]
-    assert nm_cpu >= fm_cpu * 0.8
+    # reports a 10-20% gap).  Asserted on the deterministic operation
+    # counter — heap pops, clips and point examinations across the Voronoi
+    # and filter phases — because wall-clock comparisons are load-dependent
+    # and flaky when the suite runs under contention.
+    assert rows["NM-CIJ"][7] >= rows["FM-CIJ"][7]
+    assert rows["NM-CIJ"][7] >= rows["PM-CIJ"][7]
 
     # Benchmark the winning algorithm end to end on a small workload.
     points_p = uniform_points(250, seed=7)

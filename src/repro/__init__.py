@@ -32,6 +32,7 @@ from repro.datasets import (
     uniform_points,
 )
 from repro.datasets.workload import WorkloadConfig, build_workload
+from repro.engine import EngineConfig, JoinEngine, default_engine
 from repro.geometry import ConvexPolygon, Point, Rect
 from repro.join import (
     CIJResult,
@@ -45,7 +46,7 @@ from repro.join import (
 )
 from repro.voronoi import VoronoiCell, VoronoiDiagram, compute_voronoi_cell
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Point",
@@ -54,6 +55,9 @@ __all__ = [
     "VoronoiCell",
     "VoronoiDiagram",
     "CIJResult",
+    "EngineConfig",
+    "JoinEngine",
+    "default_engine",
     "common_influence_join",
     "compute_voronoi_cell",
     "fm_cij",
@@ -72,9 +76,6 @@ __all__ = [
     "DOMAIN",
 ]
 
-_METHODS = {"fm": fm_cij, "pm": pm_cij, "nm": nm_cij}
-
-
 def common_influence_join(
     points_p: Sequence[Point],
     points_q: Sequence[Point],
@@ -82,32 +83,40 @@ def common_influence_join(
     domain: Optional[Rect] = None,
     buffer_fraction: float = 0.02,
     page_size: int = 1024,
+    executor: str = "serial",
+    workers: int = 2,
 ) -> CIJResult:
     """Compute ``CIJ(P, Q)`` end to end from two plain pointsets.
 
     This convenience wrapper builds the simulated disk, indexes both
     pointsets with R-trees, sizes the LRU buffer and runs the requested
-    algorithm.  Pair identifiers in the result refer to the positional
-    indices of the input sequences.
+    algorithm through the :class:`~repro.engine.JoinEngine`.  Pair
+    identifiers in the result refer to the positional indices of the input
+    sequences.
 
     Parameters
     ----------
     points_p, points_q:
         The two pointsets; both must be non-empty.
     method:
-        ``"nm"`` (default, the paper's best algorithm), ``"pm"`` or ``"fm"``.
+        ``"nm"`` (default, the paper's best algorithm), ``"pm"``, ``"fm"``
+        or ``"brute"`` (the quadratic oracle baseline).
     domain:
         Space domain; defaults to the paper's ``[0, 10000]`` square extended
         to cover the data if necessary.
     buffer_fraction, page_size:
         Storage parameters (paper defaults: 2 % LRU buffer, 1 KB pages).
+    executor, workers:
+        Execution strategy: ``"serial"`` (default) or ``"sharded"``, which
+        joins ``workers`` Hilbert-contiguous leaf shards of ``Q`` in
+        parallel processes (NM-CIJ and PM-CIJ only).
     """
-    try:
-        algorithm = _METHODS[method.lower()]
-    except KeyError:
+    engine = default_engine()
+    method_key = method.lower()
+    if method_key not in engine.algorithm_names():
         raise ValueError(
-            f"unknown method {method!r}; expected one of {sorted(_METHODS)}"
-        ) from None
+            f"unknown method {method!r}; expected one of {engine.algorithm_names()}"
+        )
     if not points_p or not points_q:
         raise ValueError("both pointsets must be non-empty")
     if domain is None:
@@ -117,4 +126,11 @@ def common_influence_join(
         page_size=page_size, buffer_fraction=buffer_fraction, domain=domain
     )
     workload = build_workload(config, points_p=points_p, points_q=points_q)
-    return algorithm(workload.tree_p, workload.tree_q, domain=domain)
+    return engine.run(
+        method_key,
+        workload.tree_p,
+        workload.tree_q,
+        domain=domain,
+        executor=executor,
+        workers=workers,
+    )

@@ -17,6 +17,10 @@ Run every experiment at the tiny scale and write a markdown report::
 Join two uniform pointsets with NM-CIJ::
 
     python -m repro.cli join --n-p 500 --n-q 500 --method nm
+
+Same join, sharded across four worker processes by the engine::
+
+    python -m repro.cli join --n-p 500 --n-q 500 --executor sharded --workers 4
 """
 
 from __future__ import annotations
@@ -54,7 +58,24 @@ def build_parser() -> argparse.ArgumentParser:
     join.add_argument("--n-p", type=int, default=500, help="points in P")
     join.add_argument("--n-q", type=int, default=500, help="points in Q")
     join.add_argument("--seed", type=int, default=0, help="random seed")
-    join.add_argument("--method", default="nm", choices=("nm", "pm", "fm"), help="algorithm")
+    join.add_argument(
+        "--method",
+        default="nm",
+        choices=("nm", "pm", "fm", "brute"),
+        help="algorithm (brute = the quadratic oracle baseline)",
+    )
+    join.add_argument(
+        "--executor",
+        default="serial",
+        choices=("serial", "sharded"),
+        help="engine executor: serial (paper semantics) or sharded leaves",
+    )
+    join.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="leaf shards / worker processes for the sharded executor",
+    )
     return parser
 
 
@@ -86,12 +107,22 @@ def _cmd_run_all(scale: str, markdown: Optional[str]) -> int:
     return 0
 
 
-def _cmd_join(n_p: int, n_q: int, seed: int, method: str) -> int:
+def _cmd_join(
+    n_p: int, n_q: int, seed: int, method: str, executor: str, workers: int
+) -> int:
     points_p = uniform_points(n_p, seed=seed)
     points_q = uniform_points(n_q, seed=seed + 10_000)
-    result = common_influence_join(points_p, points_q, method=method)
+    try:
+        result = common_influence_join(
+            points_p, points_q, method=method, executor=executor, workers=workers
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     stats = result.stats
     print(f"algorithm       : {stats.algorithm}")
+    if executor != "serial":
+        print(f"executor        : {executor} ({workers} workers)")
     print(f"result pairs    : {len(result.pairs)}")
     print(f"page accesses   : {stats.total_page_accesses} (MAT {stats.mat_page_accesses} + JOIN {stats.join_page_accesses})")
     print(f"CPU seconds     : {stats.total_cpu_seconds:.2f}")
@@ -111,7 +142,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "run-all":
         return _cmd_run_all(args.scale, args.markdown)
     if args.command == "join":
-        return _cmd_join(args.n_p, args.n_q, args.seed, args.method)
+        return _cmd_join(
+            args.n_p, args.n_q, args.seed, args.method, args.executor, args.workers
+        )
     parser.error(f"unhandled command {args.command!r}")
     return 2
 

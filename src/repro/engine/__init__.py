@@ -1,0 +1,59 @@
+"""repro.engine — the pluggable join-execution subsystem.
+
+One entry point for every CIJ variant and the brute-force baseline::
+
+    from repro.engine import JoinEngine, EngineConfig
+
+    engine = JoinEngine()
+    result = engine.run("nm", tree_p, tree_q)                      # serial
+    result = engine.run("nm", tree_p, tree_q,
+                        executor="sharded", workers=4)             # parallel
+
+The serial executor preserves the paper's single-threaded semantics; the
+sharded executor partitions ``R_Q``'s Hilbert-ordered leaves across
+``multiprocessing`` workers and merges pairs and statistics
+deterministically (see :mod:`repro.engine.executors` for the correctness
+argument).  :func:`run_join` and :func:`default_engine` serve callers that
+do not need their own registry.
+"""
+
+from repro.engine.algorithms import (
+    BruteForceJoin,
+    FMJoin,
+    JoinAlgorithm,
+    JoinContext,
+    NMJoin,
+    PMJoin,
+    default_algorithms,
+)
+from repro.engine.config import EngineConfig
+from repro.engine.core import JoinEngine, default_engine
+from repro.engine.executors import (
+    SerialExecutor,
+    ShardedExecutor,
+    ShardResult,
+    executor_for,
+)
+
+__all__ = [
+    "EngineConfig",
+    "JoinEngine",
+    "JoinAlgorithm",
+    "JoinContext",
+    "NMJoin",
+    "PMJoin",
+    "FMJoin",
+    "BruteForceJoin",
+    "SerialExecutor",
+    "ShardedExecutor",
+    "ShardResult",
+    "default_algorithms",
+    "default_engine",
+    "executor_for",
+    "run_join",
+]
+
+
+def run_join(algorithm, tree_p, tree_q, config=None, **overrides):
+    """Run a join through the process-wide default engine."""
+    return default_engine().run(algorithm, tree_p, tree_q, config, **overrides)

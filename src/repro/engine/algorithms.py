@@ -1,0 +1,211 @@
+"""The algorithm adapters the engine dispatches to.
+
+Each CIJ variant (and the brute-force baseline) is wrapped in a small
+:class:`JoinAlgorithm` object exposing up to three phases:
+
+* :meth:`JoinAlgorithm.prepare` — the materialisation (MAT) phase; a no-op
+  for non-blocking algorithms.  Runs once, always in the parent process.
+* :meth:`JoinAlgorithm.process_leaves` — the per-``R_Q``-leaf join pipeline
+  for algorithms that support it; this is the unit the sharded executor
+  distributes across workers.
+* :meth:`JoinAlgorithm.run_join` — the whole join phase; defaults to
+  streaming every Hilbert-ordered leaf through ``process_leaves`` (the
+  serial semantics of the paper) and is overridden by algorithms whose
+  join phase is not leaf-shaped (FM-CIJ's synchronous traversal, the
+  brute-force oracle).
+
+The heavy lifting stays in :mod:`repro.join`; these classes only adapt it
+to the engine's context/executor plumbing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from repro.geometry.rect import Rect
+from repro.index.entries import Node
+from repro.index.rtree import RTree
+from repro.join.conditional_filter import FilterStats
+from repro.join.result import JoinStats
+from repro.storage.counters import IOCounters
+from repro.voronoi.single import CellComputationStats
+
+from repro.engine.config import EngineConfig
+
+
+@dataclass
+class JoinContext:
+    """Everything one join execution carries between engine, algorithm and
+    executor: the inputs, the resolved configuration and the shared
+    statistics records the phases accumulate into."""
+
+    tree_p: RTree
+    tree_q: RTree
+    domain: Rect
+    config: EngineConfig
+    stats: JoinStats
+    cell_stats: CellComputationStats
+    filter_stats: FilterStats
+    start_counters: IOCounters
+    #: Artefacts built by ``prepare`` (e.g. materialised Voronoi R-trees).
+    prepared: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def disk(self):
+        """The shared disk manager both source trees live on."""
+        return self.tree_p.disk
+
+
+class JoinAlgorithm:
+    """Base class for engine algorithms; see the module docstring."""
+
+    #: Registry key (``engine.run("nm", ...)``).
+    name: str = ""
+    #: Label recorded in :attr:`JoinStats.algorithm`.
+    display_name: str = ""
+    #: Whether ``prepare`` performs a materialisation (MAT) phase.
+    materialises: bool = False
+    #: Whether ``process_leaves`` may be run on disjoint leaf shards.
+    supports_sharding: bool = False
+
+    def prepare(self, ctx: JoinContext) -> None:
+        """The MAT phase; the default is the non-blocking no-op."""
+
+    def run_join(self, ctx: JoinContext) -> List[Tuple[int, int]]:
+        """The complete join phase under serial semantics.
+
+        The default streams the lazy Hilbert-ordered leaf iterator through
+        :meth:`process_leaves`, preserving the paper's interleaving of leaf
+        I/O and result output.
+        """
+        leaves = ctx.tree_q.iter_leaf_nodes(order="hilbert")
+        return self.process_leaves(ctx, leaves)
+
+    def process_leaves(
+        self, ctx: JoinContext, leaves: Iterable[Node]
+    ) -> List[Tuple[int, int]]:
+        """Join a subsequence of ``R_Q`` leaves (a shard, or all of them)."""
+        raise NotImplementedError(
+            f"{self.display_name or type(self).__name__} has no leaf pipeline"
+        )
+
+
+class NMJoin(JoinAlgorithm):
+    """Algorithm 6 — non-blocking, no materialisation."""
+
+    name = "nm"
+    display_name = "NM-CIJ"
+    supports_sharding = True
+
+    def process_leaves(self, ctx, leaves):
+        from repro.join.nm_cij import process_q_leaves
+
+        return process_q_leaves(
+            ctx.tree_p,
+            ctx.tree_q,
+            leaves,
+            ctx.domain,
+            ctx.stats,
+            ctx.cell_stats,
+            ctx.filter_stats,
+            ctx.start_counters,
+            reuse_cells=ctx.config.reuse_cells,
+            use_phi_pruning=ctx.config.use_phi_pruning,
+        )
+
+
+class PMJoin(JoinAlgorithm):
+    """Algorithm 4 — partial materialisation (``R'_P`` only)."""
+
+    name = "pm"
+    display_name = "PM-CIJ"
+    materialises = True
+    supports_sharding = True
+
+    def prepare(self, ctx):
+        from repro.join.materialize import materialize_voronoi_rtree
+
+        voronoi_p, count_p = materialize_voronoi_rtree(
+            ctx.tree_p, ctx.domain, tag=f"{ctx.tree_p.tag}_vor", stats=ctx.cell_stats
+        )
+        ctx.stats.cells_computed_p = count_p
+        ctx.prepared["voronoi_p"] = voronoi_p
+
+    def process_leaves(self, ctx, leaves):
+        from repro.join.pm_cij import probe_q_leaves
+
+        return probe_q_leaves(
+            ctx.prepared["voronoi_p"],
+            ctx.tree_q,
+            leaves,
+            ctx.domain,
+            ctx.stats,
+            ctx.cell_stats,
+            ctx.start_counters,
+        )
+
+
+class FMJoin(JoinAlgorithm):
+    """Algorithm 3 — full materialisation plus synchronous-traversal join."""
+
+    name = "fm"
+    display_name = "FM-CIJ"
+    materialises = True
+
+    def prepare(self, ctx):
+        from repro.join.materialize import materialize_voronoi_rtree
+
+        voronoi_p, count_p = materialize_voronoi_rtree(
+            ctx.tree_p, ctx.domain, tag=f"{ctx.tree_p.tag}_vor", stats=ctx.cell_stats
+        )
+        voronoi_q, count_q = materialize_voronoi_rtree(
+            ctx.tree_q, ctx.domain, tag=f"{ctx.tree_q.tag}_vor", stats=ctx.cell_stats
+        )
+        ctx.stats.cells_computed_p = count_p
+        ctx.stats.cells_computed_q = count_q
+        ctx.prepared["voronoi_p"] = voronoi_p
+        ctx.prepared["voronoi_q"] = voronoi_q
+
+    def run_join(self, ctx):
+        from repro.join.fm_cij import join_materialized_trees
+
+        return join_materialized_trees(
+            ctx.prepared["voronoi_p"],
+            ctx.prepared["voronoi_q"],
+            ctx.stats,
+            ctx.start_counters,
+            progress_interval=ctx.config.progress_interval,
+        )
+
+
+class BruteForceJoin(JoinAlgorithm):
+    """The quadratic, index-free oracle behind the same entry point.
+
+    Points are pulled from the source trees without charging I/O (the
+    oracle's cost model is not the paper's), and pairs are produced in the
+    deterministic nested-loop order of the brute-force diagram.
+    """
+
+    name = "brute"
+    display_name = "BRUTE"
+
+    def run_join(self, ctx):
+        from repro.join.baseline import brute_force_cij
+
+        entries_p = sorted(ctx.tree_p.all_leaf_entries(), key=lambda e: e.oid)
+        entries_q = sorted(ctx.tree_q.all_leaf_entries(), key=lambda e: e.oid)
+        with ctx.disk.suspend_io_accounting():
+            result = brute_force_cij(
+                [e.payload for e in entries_p],
+                [e.payload for e in entries_q],
+                ctx.domain,
+                oids_p=[e.oid for e in entries_p],
+                oids_q=[e.oid for e in entries_q],
+            )
+        return result.pairs
+
+
+def default_algorithms() -> List[JoinAlgorithm]:
+    """The stock algorithm set every :class:`JoinEngine` starts with."""
+    return [NMJoin(), PMJoin(), FMJoin(), BruteForceJoin()]

@@ -1,0 +1,74 @@
+"""Engine configuration: one record that drives every join execution.
+
+The :class:`EngineConfig` collects the knobs that used to be scattered over
+the standalone algorithm functions (``reuse_cells``, ``use_phi_pruning``,
+``progress_interval``) together with the execution strategy introduced by
+the engine (``executor``, ``workers``, ``pool``).  It is a frozen dataclass
+so a config can be shared between runs and safely inherited by forked
+workers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.geometry.rect import Rect
+
+#: Executor identifiers accepted by :attr:`EngineConfig.executor`.
+EXECUTORS = ("serial", "sharded")
+
+#: Worker-pool strategies accepted by :attr:`EngineConfig.pool`.
+POOLS = ("auto", "fork", "inline")
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Execution parameters for one :class:`repro.engine.JoinEngine` run.
+
+    Attributes
+    ----------
+    executor:
+        ``"serial"`` preserves the paper's single-threaded semantics;
+        ``"sharded"`` partitions the Hilbert-ordered ``R_Q`` leaves across
+        workers (NM-CIJ and PM-CIJ only).
+    workers:
+        Number of leaf shards (and worker processes) for the sharded
+        executor.
+    pool:
+        ``"fork"`` runs shards in forked ``multiprocessing`` workers,
+        ``"inline"`` runs them sequentially in-process (same shard/merge
+        path, useful for tests and platforms without ``fork``), ``"auto"``
+        tries ``fork`` and falls back to ``inline``.
+    reuse_cells:
+        NM-CIJ's REUSE buffer (Section IV-B).
+    use_phi_pruning:
+        NM-CIJ's Lemma-3 non-leaf pruning rule.
+    progress_interval:
+        Granularity (in produced pairs) of FM-CIJ's progressiveness samples.
+    domain:
+        Space domain ``U``; defaults to the union of the two tree MBRs.
+    """
+
+    executor: str = "serial"
+    workers: int = 2
+    pool: str = "auto"
+    reuse_cells: bool = True
+    use_phi_pruning: bool = True
+    progress_interval: int = 1000
+    domain: Optional[Rect] = None
+
+    def __post_init__(self) -> None:
+        if self.executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {self.executor!r}; expected one of {EXECUTORS}"
+            )
+        if self.pool not in POOLS:
+            raise ValueError(f"unknown pool {self.pool!r}; expected one of {POOLS}")
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")
+
+    def replace(self, **overrides) -> "EngineConfig":
+        """A copy of this config with the given fields replaced."""
+        return dataclasses.replace(self, **overrides)

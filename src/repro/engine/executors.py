@@ -1,0 +1,236 @@
+"""Executors: how the engine drives an algorithm's join phase.
+
+* :class:`SerialExecutor` calls the algorithm's ``run_join`` directly and
+  reproduces the paper's single-threaded semantics bit for bit.
+* :class:`ShardedExecutor` splits the Hilbert-ordered ``R_Q`` leaf sequence
+  into contiguous shards and processes them in parallel ``fork`` workers
+  (or inline, sequentially, through the very same shard/merge path).  Each
+  shard runs against its own counter snapshot; the parent merges result
+  pairs and every statistics record deterministically, in shard order, so
+  the merged pair list is byte-identical to the serial one and the merged
+  counters are the exact sum of the per-shard deltas.
+
+Parallel-correctness argument: the pairs a shard reports depend only on its
+leaves, the two source trees and the domain — never on buffer state, the
+REUSE carry-over or the work of other shards — so contiguous shards in leaf
+order compose exactly like the serial loop.  What *does* differ is cost:
+the REUSE buffer cannot carry cells across a shard boundary, so a sharded
+NM-CIJ recomputes a few more ``P`` cells than the serial run.  That is
+reported honestly through the merged statistics.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.index.entries import Node
+from repro.join.conditional_filter import FilterStats
+from repro.join.result import JoinStats
+from repro.storage.counters import IOCounters
+from repro.voronoi.single import CellComputationStats
+
+from repro.engine.algorithms import JoinAlgorithm, JoinContext
+from repro.engine.config import EngineConfig
+
+
+@dataclass
+class ShardResult:
+    """Everything one leaf shard sends back to the merging parent."""
+
+    index: int
+    pairs: List[Tuple[int, int]]
+    stats: JoinStats
+    cell_stats: CellComputationStats
+    filter_stats: FilterStats
+    #: Page-traffic delta accumulated by this shard (its own snapshot diff).
+    counters: IOCounters
+
+
+class SerialExecutor:
+    """Run the join phase exactly as the standalone functions used to."""
+
+    name = "serial"
+
+    def execute(self, algorithm: JoinAlgorithm, ctx: JoinContext) -> List[Tuple[int, int]]:
+        return algorithm.run_join(ctx)
+
+
+#: Worker-process state installed by the pool initializer (inherited cheaply
+#: through ``fork``; only shard indices and results cross the pipe).
+_WORKER_STATE: Dict[str, object] = {}
+
+
+def _worker_init(algorithm, ctx, chunks) -> None:
+    _WORKER_STATE["algorithm"] = algorithm
+    _WORKER_STATE["ctx"] = ctx
+    _WORKER_STATE["chunks"] = chunks
+
+
+def _worker_run_shard(index: int) -> ShardResult:
+    algorithm = _WORKER_STATE["algorithm"]
+    ctx = _WORKER_STATE["ctx"]
+    chunks = _WORKER_STATE["chunks"]
+    return _execute_shard(algorithm, ctx, chunks[index], index)
+
+
+def _execute_shard(
+    algorithm: JoinAlgorithm,
+    parent_ctx: JoinContext,
+    leaves: Sequence[Node],
+    index: int,
+) -> ShardResult:
+    """Process one shard with isolated statistics and a fresh counter base.
+
+    In a forked worker the disk object is the worker's own copy, so the
+    snapshot/diff pair measures exactly this shard's traffic; inline, the
+    same snapshot/diff isolates the shard's delta on the shared counters.
+    """
+    disk = parent_ctx.disk
+    snapshot = disk.counters.snapshot()
+    stats = JoinStats(algorithm=algorithm.display_name)
+    cell_stats = CellComputationStats()
+    filter_stats = FilterStats()
+    shard_ctx = JoinContext(
+        tree_p=parent_ctx.tree_p,
+        tree_q=parent_ctx.tree_q,
+        domain=parent_ctx.domain,
+        config=parent_ctx.config,
+        stats=stats,
+        cell_stats=cell_stats,
+        filter_stats=filter_stats,
+        start_counters=snapshot,
+        prepared=parent_ctx.prepared,
+    )
+    pairs = algorithm.process_leaves(shard_ctx, leaves)
+    return ShardResult(
+        index=index,
+        pairs=pairs,
+        stats=stats,
+        cell_stats=cell_stats,
+        filter_stats=filter_stats,
+        counters=disk.counters.diff(snapshot),
+    )
+
+
+class ShardedExecutor:
+    """Partition ``R_Q``'s Hilbert-ordered leaves across workers and merge."""
+
+    name = "sharded"
+
+    def __init__(self, workers: int = 2, pool: str = "auto"):
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.workers = workers
+        self.pool = pool
+
+    def execute(self, algorithm: JoinAlgorithm, ctx: JoinContext) -> List[Tuple[int, int]]:
+        if not algorithm.supports_sharding:
+            raise ValueError(
+                f"{algorithm.display_name} does not support sharded execution; "
+                "its join phase is not a per-leaf pipeline"
+            )
+        # Enumerating the leaves is part of the join and is charged to the
+        # parent, once, before any worker starts.
+        leaves = list(ctx.tree_q.iter_leaf_nodes(order="hilbert"))
+        if not leaves:
+            return []
+        chunks = self._contiguous_chunks(leaves)
+        base_accesses = ctx.disk.counters.diff(ctx.start_counters).page_accesses
+        shard_results, forked = self._run_chunks(algorithm, ctx, chunks)
+        return self._merge(ctx, shard_results, base_accesses, forked)
+
+    # ------------------------------------------------------------------
+    # sharding and dispatch
+    # ------------------------------------------------------------------
+    def _contiguous_chunks(self, leaves: Sequence[Node]) -> List[List[Node]]:
+        """Split the leaf sequence into at most ``workers`` contiguous runs.
+
+        Contiguity in Hilbert order keeps each shard spatially coherent
+        (the REUSE buffer stays effective within a shard) and makes the
+        shard-order concatenation of outputs equal the serial pair list.
+        """
+        shard_count = max(1, min(self.workers, len(leaves)))
+        size = math.ceil(len(leaves) / shard_count)
+        return [leaves[i : i + size] for i in range(0, len(leaves), size)]
+
+    def _run_chunks(
+        self, algorithm: JoinAlgorithm, ctx: JoinContext, chunks: List[List[Node]]
+    ) -> Tuple[List[ShardResult], bool]:
+        """Run every chunk, preferring forked workers; returns (results, forked)."""
+        if self.pool in ("auto", "fork") and len(chunks) > 1:
+            pool = self._make_fork_pool(algorithm, ctx, chunks)
+            if pool is not None:
+                # Only pool *creation* falls back to inline; an error raised
+                # by the join itself inside a worker propagates unchanged.
+                with pool:
+                    return pool.map(_worker_run_shard, range(len(chunks))), True
+        results = [
+            _execute_shard(algorithm, ctx, chunk, index)
+            for index, chunk in enumerate(chunks)
+        ]
+        return results, False
+
+    def _make_fork_pool(
+        self, algorithm: JoinAlgorithm, ctx: JoinContext, chunks: List[List[Node]]
+    ):
+        """A fork worker pool, or ``None`` when unavailable and pool='auto'."""
+        try:
+            context = multiprocessing.get_context("fork")
+            return context.Pool(
+                min(self.workers, len(chunks)),
+                initializer=_worker_init,
+                initargs=(algorithm, ctx, chunks),
+            )
+        except (OSError, ValueError, ImportError) as error:
+            if self.pool == "fork":
+                raise RuntimeError(f"fork worker pool unavailable: {error}") from error
+            return None
+
+    # ------------------------------------------------------------------
+    # deterministic merge
+    # ------------------------------------------------------------------
+    def _merge(
+        self,
+        ctx: JoinContext,
+        shard_results: List[ShardResult],
+        base_accesses: int,
+        forked: bool,
+    ) -> List[Tuple[int, int]]:
+        """Fold shard outputs into the parent context, in shard order.
+
+        Pairs are concatenated; scalar statistics are summed; each shard's
+        progress curve is replayed at the offset of everything that ran
+        before it, which keeps the merged curve monotone and identical
+        across pool strategies.  Under ``fork`` the workers charged their
+        own counter copies, so their deltas are absorbed into the parent
+        counters to keep the shared disk's view complete.
+        """
+        pairs: List[Tuple[int, int]] = []
+        pair_base = 0
+        for shard in sorted(shard_results, key=lambda result: result.index):
+            ctx.stats.accumulate(shard.stats)
+            ctx.cell_stats.merge(shard.cell_stats)
+            ctx.filter_stats.merge(shard.filter_stats)
+            for sample in shard.stats.progress:
+                ctx.stats.record_progress(
+                    base_accesses + sample.page_accesses,
+                    pair_base + sample.pairs_reported,
+                )
+            if forked:
+                ctx.disk.counters.absorb(shard.counters)
+            base_accesses += shard.counters.page_accesses
+            pair_base += len(shard.pairs)
+            pairs.extend(shard.pairs)
+        return pairs
+
+
+def executor_for(config: EngineConfig):
+    """Instantiate the executor a config asks for."""
+    if config.executor == "serial":
+        return SerialExecutor()
+    if config.executor == "sharded":
+        return ShardedExecutor(workers=config.workers, pool=config.pool)
+    raise ValueError(f"unknown executor {config.executor!r}")

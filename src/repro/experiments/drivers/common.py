@@ -2,25 +2,24 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.datasets.synthetic import uniform_points
 from repro.datasets.workload import Workload, WorkloadConfig, build_workload
+from repro.engine import default_engine
 from repro.geometry.point import Point
-from repro.join.fm_cij import fm_cij
 from repro.join.lower_bound import lower_bound_io
-from repro.join.nm_cij import nm_cij
-from repro.join.pm_cij import pm_cij
 from repro.join.result import CIJResult
 
 #: Default LRU buffer size as a fraction of the data size (paper: 2 %).
 DEFAULT_BUFFER_FRACTION = 0.02
 
-#: The three CIJ algorithms in the order the paper's plots list them.
-CIJ_ALGORITHMS: Dict[str, Callable] = {
-    "FM-CIJ": fm_cij,
-    "PM-CIJ": pm_cij,
-    "NM-CIJ": nm_cij,
+#: The three CIJ algorithms in the order the paper's plots list them,
+#: mapped to their engine registry identifiers.
+CIJ_ALGORITHMS: Dict[str, str] = {
+    "FM-CIJ": "fm",
+    "PM-CIJ": "pm",
+    "NM-CIJ": "nm",
 }
 
 
@@ -44,12 +43,23 @@ def run_cij(
     points_p: Sequence[Point],
     points_q: Sequence[Point],
     buffer_fraction: float = DEFAULT_BUFFER_FRACTION,
-    **kwargs,
+    **engine_overrides,
 ) -> CIJResult:
-    """Run one CIJ algorithm on a fresh workload and return its result."""
-    algorithm = CIJ_ALGORITHMS[algorithm_name]
+    """Run one CIJ algorithm on a fresh workload through the join engine.
+
+    ``engine_overrides`` are :class:`repro.engine.EngineConfig` fields
+    (``reuse_cells``, ``use_phi_pruning``, ``executor``, ``workers``, ...),
+    so every experiment measures the same code path applications use.
+    """
+    algorithm = CIJ_ALGORITHMS.get(algorithm_name, algorithm_name)
     workload = fresh_workload(points_p, points_q, buffer_fraction=buffer_fraction)
-    return algorithm(workload.tree_p, workload.tree_q, domain=workload.domain, **kwargs)
+    return default_engine().run(
+        algorithm,
+        workload.tree_p,
+        workload.tree_q,
+        domain=workload.domain,
+        **engine_overrides,
+    )
 
 
 def lower_bound_for(

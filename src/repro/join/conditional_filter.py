@@ -106,6 +106,9 @@ def batch_conditional_filter(
 
     group_center = centroid([polygon.centroid() for polygon in polygons])
     target_mbrs = [polygon.bounding_rect() for polygon in polygons]
+    # Per-batch MBR work shared across all targets: the union MBR gives one
+    # cheap rejection test before any per-target geometry runs.
+    targets_mbr = Rect.union_all(target_mbrs)
     # All target vertices, flattened once: the Lemma-3 pruning test only
     # needs per-vertex distance comparisons (see _entry_pruned).
     target_vertices = [v for polygon in polygons for v in polygon.vertices]
@@ -128,11 +131,11 @@ def batch_conditional_filter(
             stats.points_examined += 1
             point: Point = entry.payload
             approx = _approximate_cell(point, candidates, domain)
-            if _polygon_hits_any_target(approx, target_mbrs, polygons):
+            if _polygon_hits_any_target(approx, targets_mbr, target_mbrs, polygons):
                 candidates.append((entry.oid, point))
                 stats.points_admitted += 1
         else:
-            if _entry_overlaps_targets(entry.mbr, target_mbrs, polygons):
+            if _entry_overlaps_targets(entry.mbr, targets_mbr, target_mbrs, polygons):
                 stats.entries_expanded += 1
                 push_node(tree_p.read_node(entry.child_page))
                 continue
@@ -186,16 +189,20 @@ def _approximate_cell(
 
 def _polygon_hits_any_target(
     polygon: ConvexPolygon,
+    targets_mbr: Rect,
     target_mbrs: Sequence[Rect],
     targets: Sequence[ConvexPolygon],
 ) -> bool:
     """Whether ``polygon`` intersects at least one target cell.
 
-    A cheap MBR test precedes the exact convex intersection test.
+    The batch-wide union MBR rejects most candidates with one test; a
+    per-target MBR test then precedes the exact convex intersection test.
     """
     if polygon.is_empty():
         return False
     mbr = polygon.bounding_rect()
+    if not mbr.intersects(targets_mbr):
+        return False
     for target_mbr, target in zip(target_mbrs, targets):
         if mbr.intersects(target_mbr) and polygon.intersects(target):
             return True
@@ -203,13 +210,19 @@ def _polygon_hits_any_target(
 
 
 def _entry_overlaps_targets(
-    mbr: Rect, target_mbrs: Sequence[Rect], polygons: Sequence[ConvexPolygon]
+    mbr: Rect,
+    targets_mbr: Rect,
+    target_mbrs: Sequence[Rect],
+    polygons: Sequence[ConvexPolygon],
 ) -> bool:
     """Whether the entry MBR intersects any target polygon.
 
     Such an entry may contain points *inside* a target cell (guaranteed join
-    partners), so it can never be pruned.
+    partners), so it can never be pruned.  The union MBR of the whole batch
+    is checked first so disjoint entries pay a single rectangle test.
     """
+    if not mbr.intersects(targets_mbr):
+        return False
     for target_mbr, polygon in zip(target_mbrs, polygons):
         if mbr.intersects(target_mbr) and polygon.intersects_rect(mbr):
             return True

@@ -3,20 +3,45 @@
 Both Voronoi diagrams are computed (BatchVoronoi per source leaf), indexed
 into bulk-loaded R-trees ``R'_P`` and ``R'_Q``, and finally joined with the
 synchronous-traversal intersection join.  The algorithm is *blocking*: no
-result pair is produced before both Voronoi R-trees exist.
+result pair is produced before both Voronoi R-trees exist — and because the
+synchronous traversal is a coupled walk over both trees rather than a
+per-leaf pipeline, FM-CIJ is the one variant the engine cannot shard.
+
+:func:`fm_cij` is the classic entry point, now a thin wrapper over
+:class:`repro.engine.JoinEngine`; the synchronous join phase lives in
+:func:`join_materialized_trees`.
 """
 
 from __future__ import annotations
 
-import time
-from typing import Optional
+from typing import List, Optional, Tuple
 
 from repro.geometry.rect import Rect
 from repro.index.rtree import RTree
-from repro.join.materialize import cells_intersect_entry, materialize_voronoi_rtree
+from repro.join.materialize import cells_intersect_entry
 from repro.join.result import CIJResult, JoinStats
 from repro.join.synchronous import synchronous_join
-from repro.voronoi.single import CellComputationStats
+from repro.storage.counters import IOCounters
+
+
+def join_materialized_trees(
+    voronoi_p: RTree,
+    voronoi_q: RTree,
+    stats: JoinStats,
+    start_counters: IOCounters,
+    progress_interval: int = 1000,
+) -> List[Tuple[int, int]]:
+    """Intersection-join two materialised Voronoi R-trees (join phase only)."""
+    disk = voronoi_p.disk
+    pairs: List[Tuple[int, int]] = []
+    for entry_p, entry_q in synchronous_join(
+        voronoi_p, voronoi_q, refine=cells_intersect_entry
+    ):
+        pairs.append((entry_p.oid, entry_q.oid))
+        if progress_interval and len(pairs) % progress_interval == 0:
+            accesses = disk.counters.diff(start_counters).page_accesses
+            stats.record_progress(accesses, len(pairs))
+    return pairs
 
 
 def fm_cij(
@@ -38,44 +63,12 @@ def fm_cij(
     progress_interval:
         Granularity (in produced pairs) of the progressiveness samples.
     """
-    if tree_p.disk is not tree_q.disk:
-        raise ValueError("both input trees must share one DiskManager")
-    disk = tree_p.disk
-    if domain is None:
-        domain = tree_p.domain().union(tree_q.domain())
-    stats = JoinStats(algorithm="FM-CIJ")
-    cell_stats_p = CellComputationStats()
-    cell_stats_q = CellComputationStats()
+    from repro.engine import default_engine  # local import breaks the cycle
 
-    # --- materialisation phase: build R'_P and R'_Q --------------------
-    start_counters = disk.counters.snapshot()
-    start_time = time.perf_counter()
-    voronoi_p, count_p = materialize_voronoi_rtree(
-        tree_p, domain, tag=f"{tree_p.tag}_vor", stats=cell_stats_p
+    return default_engine().run(
+        "fm",
+        tree_p,
+        tree_q,
+        domain=domain,
+        progress_interval=progress_interval,
     )
-    voronoi_q, count_q = materialize_voronoi_rtree(
-        tree_q, domain, tag=f"{tree_q.tag}_vor", stats=cell_stats_q
-    )
-    stats.cells_computed_p = count_p
-    stats.cells_computed_q = count_q
-    stats.mat_cpu_seconds = time.perf_counter() - start_time
-    after_mat = disk.counters.snapshot()
-    stats.mat_page_accesses = after_mat.diff(start_counters).page_accesses
-    stats.record_progress(stats.mat_page_accesses, 0)
-
-    # --- join phase: intersection join of the two Voronoi R-trees ------
-    join_start = time.perf_counter()
-    pairs = []
-    for entry_p, entry_q in synchronous_join(
-        voronoi_p, voronoi_q, refine=cells_intersect_entry
-    ):
-        pairs.append((entry_p.oid, entry_q.oid))
-        if progress_interval and len(pairs) % progress_interval == 0:
-            accesses = disk.counters.diff(start_counters).page_accesses
-            stats.record_progress(accesses, len(pairs))
-    stats.join_cpu_seconds = time.perf_counter() - join_start
-    stats.join_page_accesses = (
-        disk.counters.diff(start_counters).page_accesses - stats.mat_page_accesses
-    )
-    stats.record_progress(stats.total_page_accesses, len(pairs))
-    return CIJResult(pairs=pairs, stats=stats)

@@ -15,14 +15,19 @@ leaf it
 No Voronoi R-tree is ever built, so result pairs start streaming out after
 only a few page accesses, and the total I/O stays close to the lower bound
 of reading both source trees once.
+
+The per-leaf loop lives in :func:`process_q_leaves` so that the engine's
+sharded executor can run disjoint Hilbert-contiguous slices of the leaf
+sequence in parallel workers; :func:`nm_cij` is the classic serial entry
+point, now a thin wrapper over :class:`repro.engine.JoinEngine`.
 """
 
 from __future__ import annotations
 
-import time
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.geometry.rect import Rect
+from repro.index.entries import Node
 from repro.index.rtree import RTree
 from repro.join.conditional_filter import (
     FilterStats,
@@ -30,49 +35,42 @@ from repro.join.conditional_filter import (
     candidate_cells_from_buffer,
 )
 from repro.join.result import CIJResult, JoinStats
+from repro.storage.counters import IOCounters
 from repro.voronoi.batch import compute_cells_for_leaf, compute_voronoi_cells
 from repro.voronoi.cell import VoronoiCell
 from repro.voronoi.single import CellComputationStats
 
 
-def nm_cij(
+def process_q_leaves(
     tree_p: RTree,
     tree_q: RTree,
-    domain: Optional[Rect] = None,
+    leaves: Iterable[Node],
+    domain: Rect,
+    stats: JoinStats,
+    cell_stats: CellComputationStats,
+    filter_stats: FilterStats,
+    start_counters: IOCounters,
     reuse_cells: bool = True,
     use_phi_pruning: bool = True,
-) -> CIJResult:
-    """Run NM-CIJ and return the result pairs with a full cost breakdown.
+) -> List[Tuple[int, int]]:
+    """Run the NM-CIJ per-leaf pipeline over a sequence of ``R_Q`` leaves.
 
-    Parameters
-    ----------
-    tree_p, tree_q:
-        Source R-trees over ``P`` and ``Q`` sharing one disk manager.
-    domain:
-        Space domain ``U``; defaults to the union of the two tree MBRs.
-    reuse_cells:
-        Enable the REUSE buffer that carries the exact ``P``-cells of the
-        previous leaf batch over to the next one (Section IV-B); disabling
-        it gives the NO-REUSE variant of Figure 11.
-    use_phi_pruning:
-        Enable the Lemma-3 non-leaf pruning rule inside the filter phase;
-        disabling it is an ablation, not a paper configuration.
+    This is the complete join when ``leaves`` is the full Hilbert-ordered
+    leaf stream (the serial executor passes the lazy iterator straight
+    through, preserving the paper's interleaving of I/O and output), and
+    one shard's work when it is a contiguous slice of that stream.  The
+    produced pairs depend only on the leaves themselves, never on buffer
+    state or the REUSE carry-over, so concatenating shard outputs in leaf
+    order reproduces the serial pair list exactly.
+
+    Progress samples are recorded after every leaf relative to
+    ``start_counters`` (shard-local counters for a forked worker).
     """
-    if tree_p.disk is not tree_q.disk:
-        raise ValueError("both input trees must share one DiskManager")
-    disk = tree_p.disk
-    if domain is None:
-        domain = tree_p.domain().union(tree_q.domain())
-    stats = JoinStats(algorithm="NM-CIJ")
-    cell_stats = CellComputationStats()
-    filter_stats = FilterStats()
-
-    start_counters = disk.counters.snapshot()
-    start_time = time.perf_counter()
+    disk = tree_q.disk
     pairs: List[Tuple[int, int]] = []
     reuse_buffer: Dict[int, VoronoiCell] = {}
 
-    for leaf in tree_q.iter_leaf_nodes(order="hilbert"):
+    for leaf in leaves:
         # (1) Voronoi cells of the Q points in this leaf.
         cells_q = compute_cells_for_leaf(tree_q, leaf.entries, domain, stats=cell_stats)
         stats.cells_computed_q += len(cells_q)
@@ -122,7 +120,39 @@ def nm_cij(
         accesses = disk.counters.diff(start_counters).page_accesses
         stats.record_progress(accesses, len(pairs))
 
-    stats.join_cpu_seconds = time.perf_counter() - start_time
-    stats.join_page_accesses = disk.counters.diff(start_counters).page_accesses
-    stats.record_progress(stats.total_page_accesses, len(pairs))
-    return CIJResult(pairs=pairs, stats=stats)
+    return pairs
+
+
+def nm_cij(
+    tree_p: RTree,
+    tree_q: RTree,
+    domain: Optional[Rect] = None,
+    reuse_cells: bool = True,
+    use_phi_pruning: bool = True,
+) -> CIJResult:
+    """Run NM-CIJ and return the result pairs with a full cost breakdown.
+
+    Parameters
+    ----------
+    tree_p, tree_q:
+        Source R-trees over ``P`` and ``Q`` sharing one disk manager.
+    domain:
+        Space domain ``U``; defaults to the union of the two tree MBRs.
+    reuse_cells:
+        Enable the REUSE buffer that carries the exact ``P``-cells of the
+        previous leaf batch over to the next one (Section IV-B); disabling
+        it gives the NO-REUSE variant of Figure 11.
+    use_phi_pruning:
+        Enable the Lemma-3 non-leaf pruning rule inside the filter phase;
+        disabling it is an ablation, not a paper configuration.
+    """
+    from repro.engine import default_engine  # local import breaks the cycle
+
+    return default_engine().run(
+        "nm",
+        tree_p,
+        tree_q,
+        domain=domain,
+        reuse_cells=reuse_cells,
+        use_phi_pruning=use_phi_pruning,
+    )

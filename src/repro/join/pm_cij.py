@@ -6,51 +6,46 @@ Voronoi cells of each leaf's points in batch, and probes ``R'_P`` with a
 single range query covering the batch (block index nested loops).  Compared
 to FM-CIJ it saves the construction and the re-reading of ``R'_Q``; like
 FM-CIJ it is blocking until ``R'_P`` exists.
+
+The probe loop lives in :func:`probe_q_leaves` so the engine's sharded
+executor can split the leaf sequence across workers once ``R'_P`` exists;
+:func:`pm_cij` is the classic serial entry point, now a thin wrapper over
+:class:`repro.engine.JoinEngine`.
 """
 
 from __future__ import annotations
 
-import time
-from typing import Optional
+from typing import Iterable, List, Optional, Tuple
 
 from repro.geometry.rect import Rect
+from repro.index.entries import Node
 from repro.index.rtree import RTree
-from repro.join.materialize import materialize_voronoi_rtree
 from repro.join.result import CIJResult, JoinStats
+from repro.storage.counters import IOCounters
 from repro.voronoi.batch import compute_cells_for_leaf
 from repro.voronoi.single import CellComputationStats
 
 
-def pm_cij(
-    tree_p: RTree,
+def probe_q_leaves(
+    voronoi_p: RTree,
     tree_q: RTree,
-    domain: Optional[Rect] = None,
-) -> CIJResult:
-    """Run PM-CIJ and return the result pairs with a full cost breakdown."""
-    if tree_p.disk is not tree_q.disk:
-        raise ValueError("both input trees must share one DiskManager")
-    disk = tree_p.disk
-    if domain is None:
-        domain = tree_p.domain().union(tree_q.domain())
-    stats = JoinStats(algorithm="PM-CIJ")
-    cell_stats = CellComputationStats()
+    leaves: Iterable[Node],
+    domain: Rect,
+    stats: JoinStats,
+    cell_stats: CellComputationStats,
+    start_counters: IOCounters,
+) -> List[Tuple[int, int]]:
+    """Run the PM-CIJ probe pipeline over a sequence of ``R_Q`` leaves.
 
-    # --- materialisation phase: build R'_P only -------------------------
-    start_counters = disk.counters.snapshot()
-    start_time = time.perf_counter()
-    voronoi_p, count_p = materialize_voronoi_rtree(
-        tree_p, domain, tag=f"{tree_p.tag}_vor", stats=cell_stats
-    )
-    stats.cells_computed_p = count_p
-    stats.mat_cpu_seconds = time.perf_counter() - start_time
-    after_mat = disk.counters.snapshot()
-    stats.mat_page_accesses = after_mat.diff(start_counters).page_accesses
-    stats.record_progress(stats.mat_page_accesses, 0)
-
-    # --- join phase: probe R'_P with batches of Q cells -----------------
-    join_start = time.perf_counter()
-    pairs = []
-    for leaf in tree_q.iter_leaf_nodes(order="hilbert"):
+    For each leaf the Voronoi cells of its points are computed in batch and
+    ``R'_P`` is probed with one range query enclosing the whole batch, as
+    prescribed by Algorithm 4.  The output depends only on the leaves and
+    the materialised diagram, so shard outputs concatenated in leaf order
+    reproduce the serial pair list exactly.
+    """
+    disk = tree_q.disk
+    pairs: List[Tuple[int, int]] = []
+    for leaf in leaves:
         cells_q = compute_cells_for_leaf(tree_q, leaf.entries, domain, stats=cell_stats)
         stats.cells_computed_q += len(cells_q)
         # One range query whose region encloses all Voronoi cells of the
@@ -66,9 +61,15 @@ def pm_cij(
                     pairs.append((entry_p.oid, cell_q.oid))
         accesses = disk.counters.diff(start_counters).page_accesses
         stats.record_progress(accesses, len(pairs))
-    stats.join_cpu_seconds = time.perf_counter() - join_start
-    stats.join_page_accesses = (
-        disk.counters.diff(start_counters).page_accesses - stats.mat_page_accesses
-    )
-    stats.record_progress(stats.total_page_accesses, len(pairs))
-    return CIJResult(pairs=pairs, stats=stats)
+    return pairs
+
+
+def pm_cij(
+    tree_p: RTree,
+    tree_q: RTree,
+    domain: Optional[Rect] = None,
+) -> CIJResult:
+    """Run PM-CIJ and return the result pairs with a full cost breakdown."""
+    from repro.engine import default_engine  # local import breaks the cycle
+
+    return default_engine().run("pm", tree_p, tree_q, domain=domain)

@@ -10,8 +10,12 @@ algorithm can feed several figures.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Set, Tuple
+from dataclasses import dataclass, field, fields
+from typing import TYPE_CHECKING, List, Optional, Set, Tuple
+
+if TYPE_CHECKING:  # imported lazily to keep the result record dependency-free
+    from repro.join.conditional_filter import FilterStats
+    from repro.voronoi.single import CellComputationStats
 
 
 @dataclass(frozen=True)
@@ -69,13 +73,38 @@ class JoinStats:
         """Append one progressiveness sample."""
         self.progress.append(ProgressSample(page_accesses, pairs_reported))
 
+    def accumulate(self, other: "JoinStats") -> None:
+        """Add another record's scalar counters into this one.
+
+        Used by the sharded executor to merge per-shard statistics; the
+        ``algorithm`` label and the ``progress`` curve are left to the
+        caller, which knows the shard ordering.  Scalars are summed
+        generically so a counter added to the dataclass can never be
+        silently dropped from sharded-run statistics.
+        """
+        for field_info in fields(self):
+            if field_info.name in ("algorithm", "progress"):
+                continue
+            setattr(
+                self,
+                field_info.name,
+                getattr(self, field_info.name) + getattr(other, field_info.name),
+            )
+
 
 @dataclass
 class CIJResult:
-    """The pairs produced by a CIJ algorithm together with its statistics."""
+    """The pairs produced by a CIJ algorithm together with its statistics.
+
+    Runs executed through :class:`repro.engine.JoinEngine` additionally
+    carry the Voronoi-computation and filter-phase work counters, which the
+    standalone entry points used to accumulate internally and then discard.
+    """
 
     pairs: List[Tuple[int, int]]
     stats: JoinStats
+    cell_stats: Optional["CellComputationStats"] = None
+    filter_stats: Optional["FilterStats"] = None
 
     def pair_set(self) -> Set[Tuple[int, int]]:
         """The result as a set (order-insensitive comparison in tests)."""

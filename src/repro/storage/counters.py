@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict
 
 
@@ -78,14 +78,26 @@ class IOCounters:
 
     def merged_with(self, other: "IOCounters") -> "IOCounters":
         """Sum of two counter sets (used to aggregate per-phase costs)."""
-        out = IOCounters(
-            reads=self.reads + other.reads,
-            writes=self.writes + other.writes,
-            logical_reads=self.logical_reads + other.logical_reads,
-            buffer_hits=self.buffer_hits + other.buffer_hits,
-        )
-        tags = set(self.by_tag) | set(other.by_tag)
-        out.by_tag = {
-            tag: self.by_tag.get(tag, 0) + other.by_tag.get(tag, 0) for tag in tags
-        }
+        out = self.snapshot()
+        out.absorb(other)
         return out
+
+    def absorb(self, other: "IOCounters") -> None:
+        """Add another counter set into this one in place.
+
+        The sharded join executor runs each worker against its own forked
+        copy of the disk; the parent absorbs every worker's counter delta so
+        the shared counters reflect the whole join afterwards.  Fields are
+        summed generically so a counter added to the dataclass can never be
+        silently dropped from merged results.
+        """
+        for field_info in fields(self):
+            if field_info.name == "by_tag":
+                for tag, count in other.by_tag.items():
+                    self.by_tag[tag] = self.by_tag.get(tag, 0) + count
+            else:
+                setattr(
+                    self,
+                    field_info.name,
+                    getattr(self, field_info.name) + getattr(other, field_info.name),
+                )

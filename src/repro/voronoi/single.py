@@ -113,8 +113,15 @@ def compute_voronoi_cell(
     # the per-vertex Lemma tests are skipped for such entries.
     reach = 2.0 * max(site.distance_to(v) for v in cell_polygon.vertices)
     while heap:
-        _, _, kind, entry = heapq.heappop(heap)
+        key, _, kind, entry = heapq.heappop(heap)
         stats.heap_pops += 1
+        if best_first and key > reach:
+            # Best-first keys are popped in non-decreasing order (a child's
+            # mindist is never below its parent's), so once the key passes
+            # the influence radius nothing left on the heap can refine the
+            # cell and the traversal stops (Lemma-1 early termination).
+            stats.pruned_entries += 1 + len(heap)
+            break
         vertices = cell_polygon.vertices
         if kind == _POINT:
             if _is_site_entry(entry, site, site_oid):

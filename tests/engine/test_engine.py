@@ -1,0 +1,222 @@
+"""Unit tests for the JoinEngine: API, executors and deterministic merging."""
+
+import pytest
+
+from repro.datasets.synthetic import uniform_points
+from repro.datasets.workload import WorkloadConfig, build_workload
+from repro.engine import (
+    EngineConfig,
+    JoinEngine,
+    NMJoin,
+    ShardedExecutor,
+    default_engine,
+    executor_for,
+)
+from repro.join.fm_cij import fm_cij
+from repro.join.nm_cij import nm_cij
+from repro.join.pm_cij import pm_cij
+
+POINTS_P = uniform_points(150, seed=201)
+POINTS_Q = uniform_points(130, seed=202)
+
+
+def make_workload(points_p=POINTS_P, points_q=POINTS_Q):
+    return build_workload(
+        WorkloadConfig(buffer_fraction=0.05), points_p=points_p, points_q=points_q
+    )
+
+
+def run(algorithm, **overrides):
+    workload = make_workload()
+    result = default_engine().run(
+        algorithm,
+        workload.tree_p,
+        workload.tree_q,
+        domain=workload.domain,
+        **overrides,
+    )
+    return workload, result
+
+
+class TestEngineAPI:
+    def test_registered_algorithms(self):
+        assert JoinEngine().algorithm_names() == ["brute", "fm", "nm", "pm"]
+
+    def test_unknown_algorithm_rejected(self):
+        workload = make_workload()
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            default_engine().run("quantum", workload.tree_p, workload.tree_q)
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            EngineConfig(executor="distributed")
+
+    def test_unknown_pool_rejected(self):
+        with pytest.raises(ValueError, match="unknown pool"):
+            EngineConfig(pool="threads")
+
+    def test_nonpositive_workers_rejected(self):
+        with pytest.raises(ValueError):
+            EngineConfig(workers=0)
+        with pytest.raises(ValueError):
+            ShardedExecutor(workers=0)
+
+    def test_mismatched_disks_rejected(self):
+        workload_a = make_workload()
+        workload_b = make_workload()
+        with pytest.raises(ValueError, match="share one DiskManager"):
+            default_engine().run("nm", workload_a.tree_p, workload_b.tree_q)
+
+    def test_fm_cannot_be_sharded(self):
+        workload = make_workload()
+        with pytest.raises(ValueError, match="does not support sharded"):
+            default_engine().run(
+                "fm", workload.tree_p, workload.tree_q, executor="sharded"
+            )
+
+    def test_custom_algorithm_registration(self):
+        engine = JoinEngine()
+
+        class Renamed(NMJoin):
+            name = "nm-custom"
+            display_name = "NM-CUSTOM"
+
+        engine.register(Renamed())
+        workload = make_workload()
+        result = engine.run(
+            "nm-custom", workload.tree_p, workload.tree_q, domain=workload.domain
+        )
+        assert result.stats.algorithm == "NM-CUSTOM"
+        assert result.pairs
+
+    def test_executor_factory(self):
+        assert executor_for(EngineConfig()).name == "serial"
+        sharded = executor_for(EngineConfig(executor="sharded", workers=5))
+        assert sharded.name == "sharded"
+        assert sharded.workers == 5
+
+    def test_engine_result_carries_phase_stats(self):
+        _, result = run("nm")
+        assert result.cell_stats is not None and result.cell_stats.heap_pops > 0
+        assert result.filter_stats is not None and result.filter_stats.heap_pops > 0
+
+
+class TestSerialMatchesLegacyEntryPoints:
+    @pytest.mark.parametrize(
+        "algorithm,legacy", [("nm", nm_cij), ("pm", pm_cij), ("fm", fm_cij)]
+    )
+    def test_pairs_and_costs_match(self, algorithm, legacy):
+        _, engine_result = run(algorithm)
+        workload = make_workload()
+        legacy_result = legacy(workload.tree_p, workload.tree_q, domain=workload.domain)
+        assert engine_result.pairs == legacy_result.pairs
+        assert (
+            engine_result.stats.total_page_accesses
+            == legacy_result.stats.total_page_accesses
+        )
+        assert engine_result.stats.algorithm == legacy_result.stats.algorithm
+
+
+class TestShardedExecution:
+    @pytest.mark.parametrize("pool", ["fork", "inline"])
+    @pytest.mark.parametrize("algorithm", ["nm", "pm"])
+    def test_pairs_byte_identical_to_serial(self, algorithm, pool):
+        _, serial = run(algorithm)
+        _, sharded = run(algorithm, executor="sharded", workers=3, pool=pool)
+        assert sharded.pairs == serial.pairs  # list equality: order included
+
+    def test_single_shard_reproduces_serial_costs(self):
+        """With one worker the shard is the whole leaf sequence, so even the
+        REUSE-dependent cost counters match the serial run exactly."""
+        _, serial = run("nm")
+        _, sharded = run("nm", executor="sharded", workers=1, pool="inline")
+        assert sharded.pairs == serial.pairs
+        assert sharded.stats.cells_computed_p == serial.stats.cells_computed_p
+        assert sharded.stats.cells_reused_p == serial.stats.cells_reused_p
+        assert (
+            sharded.stats.total_page_accesses == serial.stats.total_page_accesses
+        )
+
+    @pytest.mark.parametrize("pool", ["fork", "inline"])
+    def test_merged_counters_match_disk_counters(self, pool):
+        """The engine's stats and the shared disk counters must agree even
+        when workers charged their own forked counter copies."""
+        workload, result = run("nm", executor="sharded", workers=3, pool=pool)
+        assert (
+            result.stats.total_page_accesses
+            == workload.disk.counters.page_accesses
+        )
+
+    def test_merged_stats_are_shard_sums(self):
+        """Scalar statistics of the merged run equal the sum over shards;
+        the filter/cell work is identical to serial because shard outputs
+        never depend on shard boundaries."""
+        _, serial = run("nm")
+        _, sharded = run("nm", executor="sharded", workers=3, pool="inline")
+        assert sharded.stats.cells_computed_q == serial.stats.cells_computed_q
+        assert sharded.stats.filter_candidates == serial.stats.filter_candidates
+        assert sharded.stats.filter_true_hits == serial.stats.filter_true_hits
+        # REUSE cannot carry cells across shard boundaries, so the sharded
+        # run recomputes at least as many P cells as the serial one.
+        assert sharded.stats.cells_computed_p >= serial.stats.cells_computed_p
+        assert (
+            sharded.stats.cells_computed_p + sharded.stats.cells_reused_p
+            == serial.stats.cells_computed_p + serial.stats.cells_reused_p
+        )
+
+    @pytest.mark.parametrize("pool", ["fork", "inline"])
+    def test_progress_curve_is_monotone(self, pool):
+        _, sharded = run("nm", executor="sharded", workers=3, pool=pool)
+        accesses = [s.page_accesses for s in sharded.stats.progress]
+        pairs = [s.pairs_reported for s in sharded.stats.progress]
+        assert accesses == sorted(accesses)
+        assert pairs == sorted(pairs)
+        assert pairs[-1] == len(sharded.pairs)
+
+    def test_more_workers_than_leaves(self):
+        workload = make_workload()
+        result = default_engine().run(
+            "nm",
+            workload.tree_p,
+            workload.tree_q,
+            domain=workload.domain,
+            executor="sharded",
+            workers=10_000,
+            pool="inline",
+        )
+        _, serial = run("nm")
+        assert result.pairs == serial.pairs
+
+
+class TestReuseBufferRegression:
+    def test_reuse_toggle_preserves_pairs_and_reuses_cells(self):
+        """REUSE on/off must be invisible in the output while the on-run
+        demonstrably serves cells from the buffer."""
+        _, with_reuse = run("nm", reuse_cells=True)
+        _, without_reuse = run("nm", reuse_cells=False)
+        assert with_reuse.pairs == without_reuse.pairs
+        assert with_reuse.stats.cells_reused_p > 0
+        assert without_reuse.stats.cells_reused_p == 0
+        assert (
+            with_reuse.stats.cells_computed_p < without_reuse.stats.cells_computed_p
+        )
+
+    def test_reuse_works_within_shards(self):
+        """Hilbert-contiguous shards keep consecutive leaves spatially close,
+        so the REUSE buffer still hits inside every shard (each shard spans
+        several leaves on a workload this size)."""
+        workload = make_workload(
+            uniform_points(400, seed=203), uniform_points(400, seed=204)
+        )
+        assert workload.tree_q.leaf_count() >= 6
+        sharded = default_engine().run(
+            "nm",
+            workload.tree_p,
+            workload.tree_q,
+            domain=workload.domain,
+            executor="sharded",
+            workers=2,
+            pool="inline",
+            reuse_cells=True,
+        )
+        assert sharded.stats.cells_reused_p > 0

@@ -21,7 +21,7 @@ class TestVoronoiDrivers:
     def test_fig6_batch_tracks_lower_bound_better_than_iter(self):
         result = run_experiment("fig6", scale="tiny")
         by_size = {}
-        for datasize, method, pages, _cpu in result.rows:
+        for datasize, method, pages, _heap_pops, _clip_ops, _cpu in result.rows:
             by_size.setdefault(datasize, {})[method] = pages
         for datasize, methods in by_size.items():
             assert methods["BATCH"] <= methods["ITER"]

@@ -82,3 +82,65 @@ class TestLRUBuffer:
         for page in range(100):
             buffer.access(page)
             assert len(buffer) <= 3
+
+
+class TestResizeInvalidateInterplay:
+    """Edge cases of resizing and invalidation interacting (the Figure 8a
+    buffer sweep resizes live buffers between measured runs)."""
+
+    def test_shrink_below_occupancy_keeps_most_recent(self):
+        buffer = LRUBuffer(5)
+        for page in range(5):
+            buffer.access(page)
+        buffer.access(1)  # refresh 1: LRU order is now 0,2,3,4,1
+        buffer.resize(2)
+        assert buffer.contents() == [4, 1]
+        assert buffer.capacity == 2
+        # The evicted pages really are gone: re-access misses and evicts LRU.
+        assert buffer.access(0) is False
+        assert buffer.contents() == [1, 0]
+
+    def test_shrink_to_zero_then_grow_again(self):
+        buffer = LRUBuffer(3)
+        for page in "abc":
+            buffer.access(page)
+        buffer.resize(0)
+        assert len(buffer) == 0
+        assert buffer.access("a") is False  # zero capacity admits nothing
+        assert len(buffer) == 0
+        buffer.resize(2)
+        assert buffer.access("a") is False  # still cold after regrowing
+        assert buffer.access("a") is True
+
+    def test_invalidate_then_access_readmits_as_most_recent(self):
+        buffer = LRUBuffer(2)
+        buffer.access("x")
+        buffer.access("y")
+        buffer.invalidate("x")
+        assert len(buffer) == 1
+        # Re-access is a miss but must readmit "x" as most recent without
+        # evicting "y" (the invalidation freed a slot).
+        assert buffer.access("x") is False
+        assert buffer.contents() == ["y", "x"]
+        assert buffer.access("y") is True
+
+    def test_invalidate_frees_room_before_shrink(self):
+        buffer = LRUBuffer(4)
+        for page in range(4):
+            buffer.access(page)
+        buffer.invalidate(3)  # occupancy 3: pages 0,1,2
+        buffer.resize(3)      # shrink to exactly the new occupancy
+        assert buffer.contents() == [0, 1, 2]  # nothing evicted
+        buffer.resize(2)
+        assert buffer.contents() == [1, 2]  # LRU page 0 evicted
+
+    def test_invalidated_page_survives_resize_churn(self):
+        buffer = LRUBuffer(3)
+        for page in ("a", "b", "c"):
+            buffer.access(page)
+        buffer.invalidate("b")
+        buffer.resize(1)
+        assert buffer.contents() == ["c"]
+        assert "b" not in buffer
+        assert buffer.access("b") is False  # miss; evicts "c"
+        assert buffer.contents() == ["b"]

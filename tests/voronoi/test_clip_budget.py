@@ -1,0 +1,63 @@
+"""Counter-verified regression bounds for the Voronoi hot-path optimisation.
+
+BatchVoronoi now orders bisector clipping by neighbour distance and stops
+both the group refinement and the best-first traversal at the Lemma-1
+early-termination bound.  These tests pin the improvement with deterministic
+operation counts measured at the seed revision, so a regression of the hot
+path fails loudly instead of showing up only as wall-clock noise.
+"""
+
+from repro.datasets.synthetic import DOMAIN, uniform_points
+from repro.datasets.workload import build_indexed_pointset
+from repro.storage.disk import DiskManager
+from repro.voronoi.diagram import brute_force_diagram, compute_voronoi_diagram
+from repro.voronoi.single import CellComputationStats
+
+#: Operation counts of `compute_voronoi_diagram(strategy="batch")` at the
+#: seed revision (commit 9672901), measured on the fixed datasets below.
+SEED_BATCH_CLIPS = {(400, 6): 9228, (300, 11): 7000}
+SEED_BATCH_HEAP_POPS = {(400, 6): 2123, (300, 11): 1338}
+#: Seed heap pops of the per-point ITER strategy on uniform(400, seed=6);
+#: the Lemma-1 early termination must cut deep into this as well.
+SEED_ITER_HEAP_POPS_400 = 42713
+
+
+def batch_stats(n, seed):
+    points = uniform_points(n, seed=seed)
+    tree = build_indexed_pointset(DiskManager(), "RP", points, domain=DOMAIN)
+    stats = CellComputationStats()
+    diagram = compute_voronoi_diagram(tree, DOMAIN, strategy="batch", stats=stats)
+    return points, diagram, stats
+
+
+class TestClipBudget:
+    def test_batch_does_measurably_fewer_clips_than_seed(self):
+        for (n, seed), seed_clips in SEED_BATCH_CLIPS.items():
+            _, _, stats = batch_stats(n, seed)
+            # "Measurably fewer": at most 70% of the seed's clip count.  The
+            # optimised implementation currently performs ~one third.
+            assert stats.refinements <= 0.7 * seed_clips, (n, seed)
+
+    def test_batch_does_fewer_heap_pops_than_seed(self):
+        for (n, seed), seed_pops in SEED_BATCH_HEAP_POPS.items():
+            _, _, stats = batch_stats(n, seed)
+            assert stats.heap_pops < seed_pops, (n, seed)
+
+    def test_iter_early_termination_cuts_heap_pops(self):
+        points = uniform_points(400, seed=6)
+        tree = build_indexed_pointset(DiskManager(), "RP", points, domain=DOMAIN)
+        stats = CellComputationStats()
+        compute_voronoi_diagram(tree, DOMAIN, strategy="iter", stats=stats)
+        assert stats.heap_pops <= 0.5 * SEED_ITER_HEAP_POPS_400
+
+    def test_optimised_diagram_is_still_exact(self):
+        """The optimisation must skip only provably-irrelevant work: every
+        cell still matches the brute-force oracle."""
+        points, diagram, _ = batch_stats(120, 13)
+        oracle = brute_force_diagram(points, DOMAIN)
+        assert len(diagram) == len(oracle)
+        for oid in range(len(points)):
+            ours = diagram.cell_of(oid)
+            against = oracle.cell_of(oid)
+            assert abs(ours.area() - against.area()) < 1e-6
+            assert ours.polygon.intersects(against.polygon)
