@@ -85,6 +85,8 @@ def common_influence_join(
     page_size: int = 1024,
     executor: str = "serial",
     workers: int = 2,
+    storage: Optional[str] = None,
+    storage_path: Optional[str] = None,
 ) -> CIJResult:
     """Compute ``CIJ(P, Q)`` end to end from two plain pointsets.
 
@@ -110,6 +112,11 @@ def common_influence_join(
         Execution strategy: ``"serial"`` (default) or ``"sharded"``, which
         joins ``workers`` Hilbert-contiguous leaf shards of ``Q`` in
         parallel processes (NM-CIJ and PM-CIJ only).
+    storage, storage_path:
+        Page-store backend (``"memory"``, ``"file"`` or ``"sqlite"``) and
+        its backing path.  The default honours ``$REPRO_STORAGE`` and falls
+        back to memory; the serializing backends let the join page real
+        bytes off disk for datasets larger than the buffer.
     """
     engine = default_engine()
     method_key = method.lower()
@@ -123,14 +130,25 @@ def common_influence_join(
         data_mbr = Rect.from_points(list(points_p) + list(points_q))
         domain = DOMAIN.union(data_mbr)
     config = WorkloadConfig(
-        page_size=page_size, buffer_fraction=buffer_fraction, domain=domain
+        page_size=page_size,
+        buffer_fraction=buffer_fraction,
+        domain=domain,
+        storage=storage,
+        storage_path=storage_path,
     )
     workload = build_workload(config, points_p=points_p, points_q=points_q)
-    return engine.run(
-        method_key,
-        workload.tree_p,
-        workload.tree_q,
-        domain=domain,
-        executor=executor,
-        workers=workers,
-    )
+    try:
+        return engine.run(
+            method_key,
+            workload.tree_p,
+            workload.tree_q,
+            domain=domain,
+            executor=executor,
+            workers=workers,
+            storage=storage,
+            storage_path=storage_path,
+        )
+    finally:
+        # The result carries pairs and statistics only; backend resources
+        # (e.g. an owned temporary page file) can be released immediately.
+        workload.close()

@@ -21,6 +21,10 @@ Join two uniform pointsets with NM-CIJ::
 Same join, sharded across four worker processes by the engine::
 
     python -m repro.cli join --n-p 500 --n-q 500 --executor sharded --workers 4
+
+Same join with pages stored in (and read back from) a real file::
+
+    python -m repro.cli join --n-p 500 --n-q 500 --storage file
 """
 
 from __future__ import annotations
@@ -76,6 +80,17 @@ def build_parser() -> argparse.ArgumentParser:
         default=2,
         help="leaf shards / worker processes for the sharded executor",
     )
+    join.add_argument(
+        "--storage",
+        default=None,
+        choices=("memory", "file", "sqlite"),
+        help="page-store backend (default: $REPRO_STORAGE or memory)",
+    )
+    join.add_argument(
+        "--storage-path",
+        default=None,
+        help="backing file for --storage file|sqlite (default: owned temp file)",
+    )
     return parser
 
 
@@ -108,13 +123,26 @@ def _cmd_run_all(scale: str, markdown: Optional[str]) -> int:
 
 
 def _cmd_join(
-    n_p: int, n_q: int, seed: int, method: str, executor: str, workers: int
+    n_p: int,
+    n_q: int,
+    seed: int,
+    method: str,
+    executor: str,
+    workers: int,
+    storage: Optional[str],
+    storage_path: Optional[str],
 ) -> int:
     points_p = uniform_points(n_p, seed=seed)
     points_q = uniform_points(n_q, seed=seed + 10_000)
     try:
         result = common_influence_join(
-            points_p, points_q, method=method, executor=executor, workers=workers
+            points_p,
+            points_q,
+            method=method,
+            executor=executor,
+            workers=workers,
+            storage=storage,
+            storage_path=storage_path,
         )
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -123,6 +151,9 @@ def _cmd_join(
     print(f"algorithm       : {stats.algorithm}")
     if executor != "serial":
         print(f"executor        : {executor} ({workers} workers)")
+    if storage is not None:
+        where = f" at {storage_path}" if storage_path else ""
+        print(f"storage         : {storage}{where}")
     print(f"result pairs    : {len(result.pairs)}")
     print(f"page accesses   : {stats.total_page_accesses} (MAT {stats.mat_page_accesses} + JOIN {stats.join_page_accesses})")
     print(f"CPU seconds     : {stats.total_cpu_seconds:.2f}")
@@ -143,7 +174,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run_all(args.scale, args.markdown)
     if args.command == "join":
         return _cmd_join(
-            args.n_p, args.n_q, args.seed, args.method, args.executor, args.workers
+            args.n_p,
+            args.n_q,
+            args.seed,
+            args.method,
+            args.executor,
+            args.workers,
+            args.storage,
+            args.storage_path,
         )
     parser.error(f"unhandled command {args.command!r}")
     return 2

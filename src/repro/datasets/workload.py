@@ -17,6 +17,7 @@ from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 from repro.index.bulkload import bulk_load_points
 from repro.index.rtree import RTree
+from repro.storage.backends import default_storage_backend
 from repro.storage.disk import DiskManager, PAGE_SIZE_DEFAULT
 
 
@@ -36,6 +37,12 @@ class WorkloadConfig:
     seed: int = 0
     #: Space domain.
     domain: Rect = DOMAIN
+    #: Page-store backend (``memory``/``file``/``sqlite``); ``None`` uses
+    #: ``$REPRO_STORAGE`` or memory, so a CI matrix can retarget every
+    #: workload-built test without touching the tests.
+    storage: Optional[str] = None
+    #: Backing path for the file/sqlite backends (``None`` = owned temp file).
+    storage_path: Optional[str] = None
 
 
 @dataclass
@@ -60,6 +67,16 @@ class Workload:
         else:
             self.disk.buffer.clear()
         self.disk.reset_counters()
+
+    def close(self) -> None:
+        """Release the disk's backend resources (temp files are deleted)."""
+        self.disk.close()
+
+    def __enter__(self) -> "Workload":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
 
 def build_indexed_pointset(
@@ -98,7 +115,10 @@ def build_workload(
         points_p = uniform_points(config.n_p, seed=config.seed)
     if points_q is None:
         points_q = uniform_points(config.n_q, seed=config.seed + 10_000)
-    disk = DiskManager(page_size=config.page_size)
+    backend = config.storage if config.storage is not None else default_storage_backend()
+    disk = DiskManager(
+        page_size=config.page_size, storage=backend, storage_path=config.storage_path
+    )
     tree_p = build_indexed_pointset(disk, "RP", points_p, domain=config.domain, bulk=bulk)
     tree_q = build_indexed_pointset(disk, "RQ", points_q, domain=config.domain, bulk=bulk)
     workload = Workload(

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.geometry.rect import Rect
+from repro.storage.backends import STORAGE_BACKENDS
 
 #: Executor identifiers accepted by :attr:`EngineConfig.executor`.
 EXECUTORS = ("serial", "sharded")
@@ -49,6 +50,20 @@ class EngineConfig:
         Granularity (in produced pairs) of FM-CIJ's progressiveness samples.
     domain:
         Space domain ``U``; defaults to the union of the two tree MBRs.
+    storage:
+        Page-store backend the run's workload lives on
+        (``"memory" | "file" | "sqlite"``).  ``None`` accepts whatever the
+        trees were built on; a concrete value makes the engine verify the
+        trees' disk really uses that backend, so a config and a workload
+        built from different sources cannot silently disagree.  The
+        workload builders (:func:`repro.datasets.workload.build_workload`,
+        :func:`repro.common_influence_join`, the CLI and the experiment
+        drivers) use the same names to construct the disk.
+    storage_path:
+        Backing path for the serializing backends (``None`` = an owned
+        temporary file).  Like ``storage``, a concrete value is verified
+        against the trees' page store at run time; the workload builders
+        use it to place the store.
     """
 
     executor: str = "serial"
@@ -58,6 +73,8 @@ class EngineConfig:
     use_phi_pruning: bool = True
     progress_interval: int = 1000
     domain: Optional[Rect] = None
+    storage: Optional[str] = None
+    storage_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.executor not in EXECUTORS:
@@ -68,6 +85,11 @@ class EngineConfig:
             raise ValueError(f"unknown pool {self.pool!r}; expected one of {POOLS}")
         if self.workers < 1:
             raise ValueError("workers must be at least 1")
+        if self.storage is not None and self.storage not in STORAGE_BACKENDS:
+            raise ValueError(
+                f"unknown storage backend {self.storage!r}; "
+                f"expected one of {STORAGE_BACKENDS}"
+            )
 
     def replace(self, **overrides) -> "EngineConfig":
         """A copy of this config with the given fields replaced."""

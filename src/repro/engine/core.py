@@ -78,6 +78,23 @@ class JoinEngine:
         effective = self._effective_config(config, overrides)
         if tree_p.disk is not tree_q.disk:
             raise ValueError("both input trees must share one DiskManager")
+        if (
+            effective.storage is not None
+            and tree_p.disk.storage_backend != effective.storage
+        ):
+            raise ValueError(
+                f"config asks for the {effective.storage!r} storage backend but the "
+                f"trees live on a {tree_p.disk.storage_backend!r} disk; build the "
+                "workload with the same backend (see repro.datasets.workload)"
+            )
+        if effective.storage_path is not None:
+            store_path = getattr(tree_p.disk.store, "path", None)
+            if store_path != effective.storage_path:
+                raise ValueError(
+                    f"config asks for storage at {effective.storage_path!r} but the "
+                    f"trees' page store is backed by {store_path!r}; build the "
+                    "workload with the same storage_path"
+                )
         executor = executor_for(effective)
         domain = effective.domain
         if domain is None:

@@ -67,6 +67,10 @@ def _worker_init(algorithm, ctx, chunks) -> None:
     _WORKER_STATE["algorithm"] = algorithm
     _WORKER_STATE["ctx"] = ctx
     _WORKER_STATE["chunks"] = chunks
+    # The page dict / decoded cache arrive through fork copy-on-write, but
+    # file descriptors and database connections must not be shared with the
+    # parent: swap in this worker's own read-only backend handles.
+    ctx.disk.reopen_for_worker()
 
 
 def _worker_run_shard(index: int) -> ShardResult:

@@ -28,13 +28,23 @@ def fresh_workload(
     points_q: Sequence[Point],
     buffer_fraction: float = DEFAULT_BUFFER_FRACTION,
     seed: int = 0,
+    storage: Optional[str] = None,
+    storage_path: Optional[str] = None,
 ) -> Workload:
     """A brand-new workload (fresh disk, fresh trees) for one measured run.
 
     Each algorithm run gets its own workload so that pages materialised by a
     previous run never pollute the buffer sizing or the counters of the next.
+    ``storage`` selects the page-store backend (``None`` honours
+    ``$REPRO_STORAGE``, then memory), so every experiment can be replayed
+    against file- or SQLite-backed pages unchanged.
     """
-    config = WorkloadConfig(seed=seed, buffer_fraction=buffer_fraction)
+    config = WorkloadConfig(
+        seed=seed,
+        buffer_fraction=buffer_fraction,
+        storage=storage,
+        storage_path=storage_path,
+    )
     return build_workload(config, points_p=points_p, points_q=points_q)
 
 
@@ -43,23 +53,37 @@ def run_cij(
     points_p: Sequence[Point],
     points_q: Sequence[Point],
     buffer_fraction: float = DEFAULT_BUFFER_FRACTION,
+    storage: Optional[str] = None,
+    storage_path: Optional[str] = None,
     **engine_overrides,
 ) -> CIJResult:
     """Run one CIJ algorithm on a fresh workload through the join engine.
 
     ``engine_overrides`` are :class:`repro.engine.EngineConfig` fields
     (``reuse_cells``, ``use_phi_pruning``, ``executor``, ``workers``, ...),
-    so every experiment measures the same code path applications use.
+    so every experiment measures the same code path applications use.  The
+    workload's backend resources are released once the result is in hand.
     """
     algorithm = CIJ_ALGORITHMS.get(algorithm_name, algorithm_name)
-    workload = fresh_workload(points_p, points_q, buffer_fraction=buffer_fraction)
-    return default_engine().run(
-        algorithm,
-        workload.tree_p,
-        workload.tree_q,
-        domain=workload.domain,
-        **engine_overrides,
+    workload = fresh_workload(
+        points_p,
+        points_q,
+        buffer_fraction=buffer_fraction,
+        storage=storage,
+        storage_path=storage_path,
     )
+    try:
+        return default_engine().run(
+            algorithm,
+            workload.tree_p,
+            workload.tree_q,
+            domain=workload.domain,
+            storage=storage,
+            storage_path=storage_path,
+            **engine_overrides,
+        )
+    finally:
+        workload.close()
 
 
 def lower_bound_for(
@@ -67,8 +91,8 @@ def lower_bound_for(
     points_q: Sequence[Point],
 ) -> int:
     """The LB line: pages of both source trees (independent of the buffer)."""
-    workload = fresh_workload(points_p, points_q)
-    return lower_bound_io(workload.tree_p, workload.tree_q)
+    with fresh_workload(points_p, points_q) as workload:
+        return lower_bound_io(workload.tree_p, workload.tree_q)
 
 
 def uniform_pair(

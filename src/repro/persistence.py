@@ -6,7 +6,11 @@ to the data.  This module provides the small amount of I/O needed for that:
 
 * pointsets as two-column CSV (``x,y`` with an optional ``id`` column),
 * CIJ results as CSV pair lists plus a JSON sidecar with the statistics,
-* experiment results (from :mod:`repro.experiments`) as JSON.
+* experiment results (from :mod:`repro.experiments`) as JSON,
+* the binary page codecs (:func:`encode_page_payload` /
+  :func:`decode_page_payload`, re-exported from
+  :mod:`repro.storage.codec`) that the file and SQLite storage backends
+  use to move R-tree nodes as real bytes.
 
 Only the standard library is used; all functions take ``pathlib.Path`` or
 plain string paths.
@@ -22,6 +26,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 from repro.experiments.harness import ExperimentResult
 from repro.geometry.point import Point
 from repro.join.result import CIJResult, JoinStats, ProgressSample
+from repro.storage.codec import decode_page_payload, encode_page_payload
 
 PathLike = Union[str, Path]
 

