@@ -1,0 +1,164 @@
+"""Sharded-engine benchmark: FM-CIJ join-phase parallelism and the NM-CIJ
+shard-boundary REUSE handoff.
+
+Two claims are measured and written to ``benchmarks/results/``:
+
+* **Sharded FM-CIJ** — the partitioned synchronous traversal distributes
+  the join phase (the CPU-heavy polygon refinement walk) across forked
+  workers with a byte-identical merged result.  Wall-clock improvement is
+  asserted only when the machine actually has more than one CPU (the join
+  phase cannot speed up on a single core); the determinism claims are
+  asserted unconditionally.
+* **NM-CIJ boundary handoff** — carrying the REUSE buffer across shard
+  boundaries drops the P-cell recomputation count of a sharded NM-CIJ to
+  exactly the serial level, closing the work gap PR 1's independent shards
+  left open.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+from repro.datasets.synthetic import uniform_points
+from repro.engine import default_engine
+from repro.experiments.drivers.common import fresh_workload
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+N_POINTS = int(os.environ.get("REPRO_SHARD_BENCH_POINTS", "1200"))
+WORKERS = 4
+
+
+def timed_run(algorithm, points_p, points_q, **overrides):
+    workload = fresh_workload(points_p, points_q)
+    try:
+        start = time.perf_counter()
+        result = default_engine().run(
+            algorithm,
+            workload.tree_p,
+            workload.tree_q,
+            domain=workload.domain,
+            **overrides,
+        )
+        elapsed = time.perf_counter() - start
+        return result, elapsed
+    finally:
+        workload.close()
+
+
+def write_table(name: str, lines) -> None:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    text = "\n".join(lines)
+    (RESULTS_DIR / name).write_text(text + "\n", encoding="utf-8")
+    print()
+    print(text)
+
+
+def test_sharded_fm_parallel_join(benchmark):
+    points_p = uniform_points(N_POINTS, seed=7)
+    points_q = uniform_points(N_POINTS, seed=17)
+
+    serial, serial_wall = timed_run("fm", points_p, points_q)
+    sharded, sharded_wall = timed_run(
+        "fm", points_p, points_q, executor="sharded", workers=WORKERS, pool="fork"
+    )
+
+    write_table(
+        "sharded_fm.txt",
+        [
+            f"sharded FM-CIJ ({N_POINTS} x {N_POINTS} points, {WORKERS} workers, "
+            f"{os.cpu_count()} cpus)",
+            f"{'config':10s} {'wall s':>8s} {'join s':>8s} {'pairs':>8s} {'pages':>8s}",
+            f"{'serial':10s} {serial_wall:8.2f} {serial.stats.join_cpu_seconds:8.2f} "
+            f"{len(serial.pairs):8d} {serial.stats.total_page_accesses:8d}",
+            f"{'sharded':10s} {sharded_wall:8.2f} {sharded.stats.join_cpu_seconds:8.2f} "
+            f"{len(sharded.pairs):8d} {sharded.stats.total_page_accesses:8d}",
+        ],
+    )
+
+    # Determinism: the merged shard output is byte-identical to the serial
+    # coupled traversal, page accounting included.
+    assert sharded.pairs == serial.pairs
+    assert (
+        sharded.stats.total_page_accesses == serial.stats.total_page_accesses
+    )
+
+    # Wall clock: only a multi-core machine can run shards concurrently.
+    if (os.cpu_count() or 1) >= 2:
+        assert sharded.stats.join_cpu_seconds < serial.stats.join_cpu_seconds * 1.05
+
+    benchmark(
+        lambda: timed_run(
+            "fm",
+            points_p,
+            points_q,
+            executor="sharded",
+            workers=WORKERS,
+            pool="fork",
+        )
+    )
+
+
+def test_nm_boundary_handoff_closes_work_gap(benchmark):
+    points_p = uniform_points(N_POINTS, seed=8)
+    points_q = uniform_points(N_POINTS, seed=18)
+
+    serial, _ = timed_run("nm", points_p, points_q)
+    independent, _ = timed_run(
+        "nm",
+        points_p,
+        points_q,
+        executor="sharded",
+        workers=WORKERS,
+        pool="inline",
+        reuse_handoff="never",
+    )
+    handoff, _ = timed_run(
+        "nm",
+        points_p,
+        points_q,
+        executor="sharded",
+        workers=WORKERS,
+        pool="inline",
+        reuse_handoff="always",
+    )
+
+    def row(label, result):
+        stats = result.stats
+        return (
+            f"{label:12s} {stats.cells_computed_p:10d} {stats.cells_reused_p:10d} "
+            f"{len(result.pairs):8d}"
+        )
+
+    write_table(
+        "sharded_nm_handoff.txt",
+        [
+            f"NM-CIJ shard-boundary REUSE ({N_POINTS} x {N_POINTS} points, "
+            f"{WORKERS} shards)",
+            f"{'config':12s} {'P computed':>10s} {'P reused':>10s} {'pairs':>8s}",
+            row("serial", serial),
+            row("no-handoff", independent),
+            row("handoff", handoff),
+        ],
+    )
+
+    assert independent.pairs == handoff.pairs == serial.pairs
+    # PR 1's independent shards recompute the boundary cells; the handoff
+    # eliminates every one of them, matching serial exactly.
+    assert independent.stats.cells_computed_p > serial.stats.cells_computed_p
+    assert handoff.stats.cells_computed_p == serial.stats.cells_computed_p
+    assert handoff.stats.cells_reused_p == serial.stats.cells_reused_p
+
+    benchmark(
+        lambda: timed_run(
+            "nm",
+            points_p,
+            points_q,
+            executor="sharded",
+            workers=WORKERS,
+            pool="inline",
+            reuse_handoff="always",
+        )
+    )

@@ -63,11 +63,11 @@ def main() -> None:
     print(f"filter heap pops      : {result.filter_stats.heap_pops}")
     print()
 
-    print("=== Parallel quickstart: sharded leaf execution ===")
-    # The sharded executor partitions Q's Hilbert-ordered leaves across
-    # worker processes.  The pair list is byte-identical to the serial run;
-    # only the cost profile changes (the REUSE buffer cannot carry cells
-    # across shard boundaries).
+    print("=== Parallel quickstart: sharded execution (every CIJ variant) ===")
+    # The sharded executor partitions the algorithm's shard units across
+    # worker processes: Q's Hilbert-ordered leaves for NM/PM, top-level
+    # R'_P partitions of the synchronous traversal for FM.  The pair list
+    # is byte-identical to the serial run in every case.
     config = EngineConfig(executor="sharded", workers=4)
     workload = build_workload(WorkloadConfig(), points_p=restaurants, points_q=cinemas)
     sharded = engine.run(
@@ -77,7 +77,35 @@ def main() -> None:
           f"(identical to serial: {sharded.pairs == result.pairs})")
     print(f"P-cells recomputed    : serial {result.stats.cells_computed_p}, "
           f"sharded {sharded.stats.cells_computed_p}")
+    workload = build_workload(WorkloadConfig(), points_p=restaurants, points_q=cinemas)
+    sharded_fm = engine.run(
+        "fm", workload.tree_p, workload.tree_q, config, domain=workload.domain
+    )
+    print(f"sharded FM-CIJ pairs  : {len(sharded_fm.pairs)} "
+          f"(the synchronous traversal shards by top-level R'_P entries)")
     print()
+
+    print("=== Shard-boundary REUSE handoff ===")
+    # By default parallel shards are independent, so NM recomputes the
+    # P-cells the REUSE buffer would have carried across shard boundaries.
+    # reuse_handoff="always" chains shard k's final buffer into shard k+1,
+    # restoring the exact serial reuse accounting (work-optimal; under
+    # fork the shards then run as a pipeline rather than in parallel).
+    config = EngineConfig(executor="sharded", workers=4, reuse_handoff="always")
+    workload = build_workload(WorkloadConfig(), points_p=restaurants, points_q=cinemas)
+    handoff = engine.run(
+        "nm", workload.tree_p, workload.tree_q, config, domain=workload.domain
+    )
+    print(f"handoff NM-CIJ pairs  : {len(handoff.pairs)} "
+          f"(identical to serial: {handoff.pairs == result.pairs})")
+    print(f"P-cells recomputed    : serial {result.stats.cells_computed_p}, "
+          f"handoff {handoff.stats.cells_computed_p} (equal again)")
+    print()
+
+    # Boundary ties: a pair joins only when the two influence regions
+    # overlap with positive area.  Cells that merely touch (zero-area
+    # contact, e.g. exactly colinear bisectors) are excluded — by the
+    # brute-force oracle and all three algorithms alike.
 
     print("=== File-backed storage: pages live on a real disk ===")
     # The same join can run with every R-tree page serialized into a single

@@ -85,6 +85,7 @@ def common_influence_join(
     page_size: int = 1024,
     executor: str = "serial",
     workers: int = 2,
+    reuse_handoff: str = "auto",
     storage: Optional[str] = None,
     storage_path: Optional[str] = None,
 ) -> CIJResult:
@@ -110,8 +111,14 @@ def common_influence_join(
         Storage parameters (paper defaults: 2 % LRU buffer, 1 KB pages).
     executor, workers:
         Execution strategy: ``"serial"`` (default) or ``"sharded"``, which
-        joins ``workers`` Hilbert-contiguous leaf shards of ``Q`` in
-        parallel processes (NM-CIJ and PM-CIJ only).
+        splits the join across ``workers`` parallel processes — Hilbert-
+        contiguous leaf shards of ``Q`` for NM-CIJ/PM-CIJ, top-level
+        ``R'_P`` partitions of the synchronous traversal for FM-CIJ.
+        Every CIJ variant shards; only the brute-force oracle does not.
+    reuse_handoff:
+        Whether a sharded NM-CIJ hands its REUSE buffer across shard
+        boundaries (``"auto"``/``"always"``/``"never"``; see
+        :class:`repro.engine.EngineConfig`).
     storage, storage_path:
         Page-store backend (``"memory"``, ``"file"`` or ``"sqlite"``) and
         its backing path.  The default honours ``$REPRO_STORAGE`` and falls
@@ -145,6 +152,7 @@ def common_influence_join(
             domain=domain,
             executor=executor,
             workers=workers,
+            reuse_handoff=reuse_handoff,
             storage=storage,
             storage_path=storage_path,
         )

@@ -18,9 +18,16 @@ Join two uniform pointsets with NM-CIJ::
 
     python -m repro.cli join --n-p 500 --n-q 500 --method nm
 
-Same join, sharded across four worker processes by the engine::
+Same join, sharded across four worker processes by the engine (every CIJ
+variant shards: NM/PM by R_Q leaves, FM by top-level R'_P join partitions)::
 
     python -m repro.cli join --n-p 500 --n-q 500 --executor sharded --workers 4
+    python -m repro.cli join --n-p 500 --n-q 500 --method fm --executor sharded --workers 4
+
+Sharded NM with the boundary handoff, so the REUSE buffer carries P-cells
+across shard boundaries exactly like the serial run::
+
+    python -m repro.cli join --executor sharded --workers 4 --reuse-handoff always
 
 Same join with pages stored in (and read back from) a real file::
 
@@ -72,13 +79,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--executor",
         default="serial",
         choices=("serial", "sharded"),
-        help="engine executor: serial (paper semantics) or sharded leaves",
+        help="engine executor: serial (paper semantics) or sharded "
+        "(R_Q leaves for nm/pm, top-level R'_P partitions for fm)",
     )
     join.add_argument(
         "--workers",
         type=int,
-        default=2,
-        help="leaf shards / worker processes for the sharded executor",
+        default=None,
+        help="shards / worker processes for the sharded executor (default 2; "
+        "only valid with --executor sharded)",
+    )
+    join.add_argument(
+        "--reuse-handoff",
+        default="auto",
+        choices=("auto", "always", "never"),
+        help="carry NM's REUSE buffer across shard boundaries (sharded "
+        "executor): auto enables it for the free inline pool, always "
+        "chains forked workers too (work-optimal pipeline), never keeps "
+        "shards independent",
     )
     join.add_argument(
         "--storage",
@@ -122,6 +140,23 @@ def _cmd_run_all(scale: str, markdown: Optional[str]) -> int:
     return 0
 
 
+def _validate_workers(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    """Resolve and validate the --workers/--executor combination.
+
+    ``--workers`` used to be accepted (and silently ignored) with the
+    serial executor; now the contradiction is rejected loudly, as is a
+    non-positive worker count with any executor.
+    """
+    if args.workers is not None and args.workers < 1:
+        parser.error(f"--workers must be at least 1 (got {args.workers})")
+    if args.executor == "serial" and args.workers is not None and args.workers > 1:
+        parser.error(
+            f"--workers {args.workers} has no effect with --executor serial; "
+            "use --executor sharded to run shards in parallel"
+        )
+    return args.workers if args.workers is not None else 2
+
+
 def _cmd_join(
     n_p: int,
     n_q: int,
@@ -129,6 +164,7 @@ def _cmd_join(
     method: str,
     executor: str,
     workers: int,
+    reuse_handoff: str,
     storage: Optional[str],
     storage_path: Optional[str],
 ) -> int:
@@ -141,6 +177,7 @@ def _cmd_join(
             method=method,
             executor=executor,
             workers=workers,
+            reuse_handoff=reuse_handoff,
             storage=storage,
             storage_path=storage_path,
         )
@@ -173,13 +210,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "run-all":
         return _cmd_run_all(args.scale, args.markdown)
     if args.command == "join":
+        workers = _validate_workers(parser, args)
         return _cmd_join(
             args.n_p,
             args.n_q,
             args.seed,
             args.method,
             args.executor,
-            args.workers,
+            workers,
+            args.reuse_handoff,
             args.storage,
             args.storage_path,
         )

@@ -10,11 +10,15 @@ One entry point for every CIJ variant and the brute-force baseline::
                         executor="sharded", workers=4)             # parallel
 
 The serial executor preserves the paper's single-threaded semantics; the
-sharded executor partitions ``R_Q``'s Hilbert-ordered leaves across
-``multiprocessing`` workers and merges pairs and statistics
-deterministically (see :mod:`repro.engine.executors` for the correctness
-argument).  :func:`run_join` and :func:`default_engine` serve callers that
-do not need their own registry.
+sharded executor partitions the algorithm's shard units — ``R_Q``'s
+Hilbert-ordered leaves for NM/PM, top-level ``R'_P`` partitions of the
+synchronous traversal for FM — across ``multiprocessing`` workers and
+merges pairs and statistics deterministically (see
+:mod:`repro.engine.executors` for the correctness argument).  A sharded
+NM-CIJ can additionally hand its REUSE buffer across shard boundaries
+(``EngineConfig.reuse_handoff``), restoring the serial cell-reuse chain.
+:func:`run_join` and :func:`default_engine` serve callers that do not need
+their own registry.
 """
 
 from repro.engine.algorithms import (

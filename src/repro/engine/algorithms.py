@@ -1,18 +1,25 @@
 """The algorithm adapters the engine dispatches to.
 
 Each CIJ variant (and the brute-force baseline) is wrapped in a small
-:class:`JoinAlgorithm` object exposing up to three phases:
+:class:`JoinAlgorithm` object exposing up to four phases:
 
 * :meth:`JoinAlgorithm.prepare` — the materialisation (MAT) phase; a no-op
   for non-blocking algorithms.  Runs once, always in the parent process.
-* :meth:`JoinAlgorithm.process_leaves` — the per-``R_Q``-leaf join pipeline
-  for algorithms that support it; this is the unit the sharded executor
-  distributes across workers.
-* :meth:`JoinAlgorithm.run_join` — the whole join phase; defaults to
-  streaming every Hilbert-ordered leaf through ``process_leaves`` (the
-  serial semantics of the paper) and is overridden by algorithms whose
-  join phase is not leaf-shaped (FM-CIJ's synchronous traversal, the
-  brute-force oracle).
+* :meth:`JoinAlgorithm.shard_units` — the ordered work units the sharded
+  executor distributes: Hilbert-ordered ``R_Q`` leaves for the leaf-shaped
+  algorithms (NM, PM), top-level ``R'_P`` join partitions for FM.
+* :meth:`JoinAlgorithm.process_units` — the join pipeline over a
+  subsequence of units (a shard, or all of them).
+* :meth:`JoinAlgorithm.run_join` — the whole join phase under serial
+  semantics; the default streams every Hilbert-ordered leaf through
+  :meth:`process_units` lazily (the paper's interleaving of leaf I/O and
+  output); FM overrides it to walk its partitions in order, and the
+  brute-force oracle overrides it entirely.
+
+Algorithms with ``supports_handoff`` additionally carry state across shard
+boundaries through :attr:`JoinContext.carry`: NM-CIJ publishes its final
+REUSE buffer there so the next shard can reuse the ``P``-cells the serial
+run would have carried over instead of recomputing them.
 
 The heavy lifting stays in :mod:`repro.join`; these classes only adapt it
 to the engine's context/executor plumbing.
@@ -21,10 +28,9 @@ to the engine's context/executor plumbing.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.geometry.rect import Rect
-from repro.index.entries import Node
 from repro.index.rtree import RTree
 from repro.join.conditional_filter import FilterStats
 from repro.join.result import JoinStats
@@ -50,6 +56,10 @@ class JoinContext:
     start_counters: IOCounters
     #: Artefacts built by ``prepare`` (e.g. materialised Voronoi R-trees).
     prepared: Dict[str, object] = field(default_factory=dict)
+    #: Shard-boundary carry state (``supports_handoff`` algorithms only):
+    #: the executor seeds it with the previous shard's outbound state and
+    #: the algorithm replaces it with its own when the shard completes.
+    carry: Optional[object] = None
 
     @property
     def disk(self):
@@ -66,28 +76,39 @@ class JoinAlgorithm:
     display_name: str = ""
     #: Whether ``prepare`` performs a materialisation (MAT) phase.
     materialises: bool = False
-    #: Whether ``process_leaves`` may be run on disjoint leaf shards.
+    #: Whether ``process_units`` may be run on disjoint unit shards.
     supports_sharding: bool = False
+    #: Whether the algorithm carries shard-boundary state (``ctx.carry``).
+    supports_handoff: bool = False
 
     def prepare(self, ctx: JoinContext) -> None:
         """The MAT phase; the default is the non-blocking no-op."""
+
+    def shard_units(self, ctx: JoinContext) -> List[object]:
+        """The ordered work units a sharded execution distributes.
+
+        The default is the Hilbert-ordered ``R_Q`` leaf sequence.
+        Enumeration cost is charged to the caller (the parent process),
+        once, before any worker starts.
+        """
+        return list(ctx.tree_q.iter_leaf_nodes(order="hilbert"))
 
     def run_join(self, ctx: JoinContext) -> List[Tuple[int, int]]:
         """The complete join phase under serial semantics.
 
         The default streams the lazy Hilbert-ordered leaf iterator through
-        :meth:`process_leaves`, preserving the paper's interleaving of leaf
+        :meth:`process_units`, preserving the paper's interleaving of leaf
         I/O and result output.
         """
         leaves = ctx.tree_q.iter_leaf_nodes(order="hilbert")
-        return self.process_leaves(ctx, leaves)
+        return self.process_units(ctx, leaves)
 
-    def process_leaves(
-        self, ctx: JoinContext, leaves: Iterable[Node]
+    def process_units(
+        self, ctx: JoinContext, units: Iterable[object]
     ) -> List[Tuple[int, int]]:
-        """Join a subsequence of ``R_Q`` leaves (a shard, or all of them)."""
+        """Join a subsequence of shard units (a shard, or all of them)."""
         raise NotImplementedError(
-            f"{self.display_name or type(self).__name__} has no leaf pipeline"
+            f"{self.display_name or type(self).__name__} has no unit pipeline"
         )
 
 
@@ -97,14 +118,15 @@ class NMJoin(JoinAlgorithm):
     name = "nm"
     display_name = "NM-CIJ"
     supports_sharding = True
+    supports_handoff = True
 
-    def process_leaves(self, ctx, leaves):
+    def process_units(self, ctx, units):
         from repro.join.nm_cij import process_q_leaves
 
-        return process_q_leaves(
+        pairs, final_buffer = process_q_leaves(
             ctx.tree_p,
             ctx.tree_q,
-            leaves,
+            units,
             ctx.domain,
             ctx.stats,
             ctx.cell_stats,
@@ -112,7 +134,10 @@ class NMJoin(JoinAlgorithm):
             ctx.start_counters,
             reuse_cells=ctx.config.reuse_cells,
             use_phi_pruning=ctx.config.use_phi_pruning,
+            initial_reuse=ctx.carry,
         )
+        ctx.carry = final_buffer if ctx.config.reuse_cells else None
+        return pairs
 
 
 class PMJoin(JoinAlgorithm):
@@ -132,13 +157,13 @@ class PMJoin(JoinAlgorithm):
         ctx.stats.cells_computed_p = count_p
         ctx.prepared["voronoi_p"] = voronoi_p
 
-    def process_leaves(self, ctx, leaves):
+    def process_units(self, ctx, units):
         from repro.join.pm_cij import probe_q_leaves
 
         return probe_q_leaves(
             ctx.prepared["voronoi_p"],
             ctx.tree_q,
-            leaves,
+            units,
             ctx.domain,
             ctx.stats,
             ctx.cell_stats,
@@ -147,11 +172,19 @@ class PMJoin(JoinAlgorithm):
 
 
 class FMJoin(JoinAlgorithm):
-    """Algorithm 3 — full materialisation plus synchronous-traversal join."""
+    """Algorithm 3 — full materialisation plus synchronous-traversal join.
+
+    The join phase is the partitioned synchronous traversal: one
+    independent depth-first walk per top-level ``R'_P`` entry, each seeded
+    with the MBR-pruned fan-in of top-level ``R'_Q`` entries.  Walking the
+    partitions in order *is* the classic coupled traversal (byte-identical
+    pairs and page accesses), which is what makes FM shardable.
+    """
 
     name = "fm"
     display_name = "FM-CIJ"
     materialises = True
+    supports_sharding = True
 
     def prepare(self, ctx):
         from repro.join.materialize import materialize_voronoi_rtree
@@ -167,12 +200,23 @@ class FMJoin(JoinAlgorithm):
         ctx.prepared["voronoi_p"] = voronoi_p
         ctx.prepared["voronoi_q"] = voronoi_q
 
-    def run_join(self, ctx):
-        from repro.join.fm_cij import join_materialized_trees
+    def shard_units(self, ctx):
+        from repro.join.fm_cij import fm_join_partitions
 
-        return join_materialized_trees(
+        return fm_join_partitions(
+            ctx.prepared["voronoi_p"], ctx.prepared["voronoi_q"]
+        )
+
+    def run_join(self, ctx):
+        return self.process_units(ctx, self.shard_units(ctx))
+
+    def process_units(self, ctx, units):
+        from repro.join.fm_cij import join_partitions
+
+        return join_partitions(
             ctx.prepared["voronoi_p"],
             ctx.prepared["voronoi_q"],
+            units,
             ctx.stats,
             ctx.start_counters,
             progress_interval=ctx.config.progress_interval,

@@ -23,6 +23,10 @@ EXECUTORS = ("serial", "sharded")
 #: Worker-pool strategies accepted by :attr:`EngineConfig.pool`.
 POOLS = ("auto", "fork", "inline")
 
+#: Shard-boundary REUSE handoff modes accepted by
+#: :attr:`EngineConfig.reuse_handoff`.
+HANDOFF_MODES = ("auto", "always", "never")
+
 
 @dataclass(frozen=True)
 class EngineConfig:
@@ -32,16 +36,27 @@ class EngineConfig:
     ----------
     executor:
         ``"serial"`` preserves the paper's single-threaded semantics;
-        ``"sharded"`` partitions the Hilbert-ordered ``R_Q`` leaves across
-        workers (NM-CIJ and PM-CIJ only).
+        ``"sharded"`` partitions the algorithm's shard units across
+        workers — Hilbert-ordered ``R_Q`` leaves for NM-CIJ/PM-CIJ,
+        top-level ``R'_P`` join partitions for FM-CIJ.
     workers:
-        Number of leaf shards (and worker processes) for the sharded
-        executor.
+        Number of shards (and worker processes) for the sharded executor.
     pool:
         ``"fork"`` runs shards in forked ``multiprocessing`` workers,
         ``"inline"`` runs them sequentially in-process (same shard/merge
         path, useful for tests and platforms without ``fork``), ``"auto"``
         tries ``fork`` and falls back to ``inline``.
+    reuse_handoff:
+        Whether a sharded NM-CIJ carries the REUSE buffer across shard
+        boundaries, so the ``P``-cells computed for shard *k*'s last leaf
+        are visible to shard *k+1* instead of recomputed.  ``"always"``
+        chains the handoff in every pool (under ``fork`` the shards then
+        run as a pipeline: work-optimal — recomputation drops to exactly
+        serial levels — but not wall-clock-optimal); ``"never"`` keeps
+        every shard independent (maximum parallelism, boundary cells
+        recomputed); ``"auto"`` (default) enables the handoff only when
+        ``pool="inline"`` is configured, where the shards run sequentially
+        anyway and the handoff costs nothing.
     reuse_cells:
         NM-CIJ's REUSE buffer (Section IV-B).
     use_phi_pruning:
@@ -69,6 +84,7 @@ class EngineConfig:
     executor: str = "serial"
     workers: int = 2
     pool: str = "auto"
+    reuse_handoff: str = "auto"
     reuse_cells: bool = True
     use_phi_pruning: bool = True
     progress_interval: int = 1000
@@ -83,6 +99,11 @@ class EngineConfig:
             )
         if self.pool not in POOLS:
             raise ValueError(f"unknown pool {self.pool!r}; expected one of {POOLS}")
+        if self.reuse_handoff not in HANDOFF_MODES:
+            raise ValueError(
+                f"unknown reuse_handoff {self.reuse_handoff!r}; "
+                f"expected one of {HANDOFF_MODES}"
+            )
         if self.workers < 1:
             raise ValueError("workers must be at least 1")
         if self.storage is not None and self.storage not in STORAGE_BACKENDS:

@@ -2,21 +2,33 @@
 
 * :class:`SerialExecutor` calls the algorithm's ``run_join`` directly and
   reproduces the paper's single-threaded semantics bit for bit.
-* :class:`ShardedExecutor` splits the Hilbert-ordered ``R_Q`` leaf sequence
-  into contiguous shards and processes them in parallel ``fork`` workers
-  (or inline, sequentially, through the very same shard/merge path).  Each
-  shard runs against its own counter snapshot; the parent merges result
-  pairs and every statistics record deterministically, in shard order, so
-  the merged pair list is byte-identical to the serial one and the merged
-  counters are the exact sum of the per-shard deltas.
+* :class:`ShardedExecutor` splits the algorithm's ordered shard units —
+  Hilbert-ordered ``R_Q`` leaves for NM-CIJ/PM-CIJ, top-level ``R'_P``
+  join partitions for FM-CIJ — into contiguous shards and processes them
+  in parallel ``fork`` workers (or inline, sequentially, through the very
+  same shard/merge path).  Each shard runs against its own counter
+  snapshot; the parent merges result pairs and every statistics record
+  deterministically, in shard order, so the merged pair list is
+  byte-identical to the serial one and the merged counters are the exact
+  sum of the per-shard deltas.
 
 Parallel-correctness argument: the pairs a shard reports depend only on its
-leaves, the two source trees and the domain — never on buffer state, the
-REUSE carry-over or the work of other shards — so contiguous shards in leaf
-order compose exactly like the serial loop.  What *does* differ is cost:
-the REUSE buffer cannot carry cells across a shard boundary, so a sharded
-NM-CIJ recomputes a few more ``P`` cells than the serial run.  That is
-reported honestly through the merged statistics.
+units, the two source trees and the domain — never on buffer state, the
+REUSE carry-over or the work of other shards — so contiguous shards in unit
+order compose exactly like the serial loop.  What *can* differ is cost: by
+default the REUSE buffer cannot carry cells across a shard boundary, so a
+parallel sharded NM-CIJ recomputes a few more ``P`` cells than the serial
+run.  The *handoff* mode closes that gap: the final REUSE buffer of shard
+``k`` is passed to shard ``k+1`` (``JoinContext.carry``), which restores
+exactly the serial reuse chain — sequentially for the inline pool (where
+it costs nothing) and as a worker pipeline under ``fork`` (work-optimal,
+not wall-clock-optimal).  Either way the cost is reported honestly through
+the merged statistics.
+
+The inline fallback also isolates the shared LRU buffer: every shard starts
+from the dispatch-time buffer state a forked worker would inherit, and the
+parent's buffer is rewound afterwards — so inline and forked executions
+produce identical counters, not just identical pairs.
 """
 
 from __future__ import annotations
@@ -24,9 +36,8 @@ from __future__ import annotations
 import math
 import multiprocessing
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.index.entries import Node
 from repro.join.conditional_filter import FilterStats
 from repro.join.result import JoinStats
 from repro.storage.counters import IOCounters
@@ -38,7 +49,7 @@ from repro.engine.config import EngineConfig
 
 @dataclass
 class ShardResult:
-    """Everything one leaf shard sends back to the merging parent."""
+    """Everything one shard sends back to the merging parent."""
 
     index: int
     pairs: List[Tuple[int, int]]
@@ -47,6 +58,8 @@ class ShardResult:
     filter_stats: FilterStats
     #: Page-traffic delta accumulated by this shard (its own snapshot diff).
     counters: IOCounters
+    #: Outbound shard-boundary state (``supports_handoff`` algorithms).
+    carry: Optional[object] = None
 
 
 class SerialExecutor:
@@ -59,38 +72,56 @@ class SerialExecutor:
 
 
 #: Worker-process state installed by the pool initializer (inherited cheaply
-#: through ``fork``; only shard indices and results cross the pipe).
+#: through ``fork``; only shard indices, carries and results cross the pipe).
 _WORKER_STATE: Dict[str, object] = {}
 
 
-def _worker_init(algorithm, ctx, chunks) -> None:
+def _worker_init(algorithm, ctx, chunks, handoff: bool = False) -> None:
     _WORKER_STATE["algorithm"] = algorithm
     _WORKER_STATE["ctx"] = ctx
     _WORKER_STATE["chunks"] = chunks
+    _WORKER_STATE["handoff"] = handoff
+    # The worker's forked buffer copy *is* the parent's dispatch-time
+    # state; capture it so every shard this worker picks up starts from
+    # it, even when the pool hands one worker several shards.
+    _WORKER_STATE["dispatch_buffer"] = ctx.disk.buffer_state()
     # The page dict / decoded cache arrive through fork copy-on-write, but
     # file descriptors and database connections must not be shared with the
     # parent: swap in this worker's own read-only backend handles.
     ctx.disk.reopen_for_worker()
 
 
-def _worker_run_shard(index: int) -> ShardResult:
+def _worker_run_shard(index: int, carry: Optional[object] = None) -> ShardResult:
     algorithm = _WORKER_STATE["algorithm"]
     ctx = _WORKER_STATE["ctx"]
     chunks = _WORKER_STATE["chunks"]
-    return _execute_shard(algorithm, ctx, chunks[index], index)
+    # Rewind to the dispatch-time buffer before every shard: a worker that
+    # wins the queue race for a second shard must not leak the previous
+    # shard's warm pages into it (the inline fallback rewinds identically,
+    # keeping counters byte-equal across pool strategies).
+    ctx.disk.restore_buffer_state(_WORKER_STATE["dispatch_buffer"])
+    result = _execute_shard(algorithm, ctx, chunks[index], index, carry=carry)
+    if not _WORKER_STATE.get("handoff"):
+        # Nobody consumes the outbound carry without the boundary handoff;
+        # keep the (potentially large) REUSE buffer off the result pipe.
+        result.carry = None
+    return result
 
 
 def _execute_shard(
     algorithm: JoinAlgorithm,
     parent_ctx: JoinContext,
-    leaves: Sequence[Node],
+    units: Sequence[object],
     index: int,
+    carry: Optional[object] = None,
 ) -> ShardResult:
     """Process one shard with isolated statistics and a fresh counter base.
 
     In a forked worker the disk object is the worker's own copy, so the
     snapshot/diff pair measures exactly this shard's traffic; inline, the
     same snapshot/diff isolates the shard's delta on the shared counters.
+    ``carry`` seeds the shard's inbound boundary state (the previous
+    shard's REUSE buffer) when the handoff is enabled.
     """
     disk = parent_ctx.disk
     snapshot = disk.counters.snapshot()
@@ -107,8 +138,9 @@ def _execute_shard(
         filter_stats=filter_stats,
         start_counters=snapshot,
         prepared=parent_ctx.prepared,
+        carry=carry,
     )
-    pairs = algorithm.process_leaves(shard_ctx, leaves)
+    pairs = algorithm.process_units(shard_ctx, units)
     return ShardResult(
         index=index,
         pairs=pairs,
@@ -116,32 +148,34 @@ def _execute_shard(
         cell_stats=cell_stats,
         filter_stats=filter_stats,
         counters=disk.counters.diff(snapshot),
+        carry=shard_ctx.carry,
     )
 
 
 class ShardedExecutor:
-    """Partition ``R_Q``'s Hilbert-ordered leaves across workers and merge."""
+    """Partition the algorithm's shard units across workers and merge."""
 
     name = "sharded"
 
-    def __init__(self, workers: int = 2, pool: str = "auto"):
+    def __init__(self, workers: int = 2, pool: str = "auto", reuse_handoff: str = "auto"):
         if workers < 1:
             raise ValueError("workers must be at least 1")
         self.workers = workers
         self.pool = pool
+        self.reuse_handoff = reuse_handoff
 
     def execute(self, algorithm: JoinAlgorithm, ctx: JoinContext) -> List[Tuple[int, int]]:
         if not algorithm.supports_sharding:
             raise ValueError(
                 f"{algorithm.display_name} does not support sharded execution; "
-                "its join phase is not a per-leaf pipeline"
+                "its join phase has no shard units"
             )
-        # Enumerating the leaves is part of the join and is charged to the
+        # Enumerating the units is part of the join and is charged to the
         # parent, once, before any worker starts.
-        leaves = list(ctx.tree_q.iter_leaf_nodes(order="hilbert"))
-        if not leaves:
+        units = algorithm.shard_units(ctx)
+        if not units:
             return []
-        chunks = self._contiguous_chunks(leaves)
+        chunks = self._contiguous_chunks(units)
         base_accesses = ctx.disk.counters.diff(ctx.start_counters).page_accesses
         shard_results, forked = self._run_chunks(algorithm, ctx, chunks)
         return self._merge(ctx, shard_results, base_accesses, forked)
@@ -149,36 +183,96 @@ class ShardedExecutor:
     # ------------------------------------------------------------------
     # sharding and dispatch
     # ------------------------------------------------------------------
-    def _contiguous_chunks(self, leaves: Sequence[Node]) -> List[List[Node]]:
-        """Split the leaf sequence into at most ``workers`` contiguous runs.
+    def _contiguous_chunks(self, units: Sequence[object]) -> List[Sequence[object]]:
+        """Split the unit sequence into at most ``workers`` contiguous runs.
 
-        Contiguity in Hilbert order keeps each shard spatially coherent
-        (the REUSE buffer stays effective within a shard) and makes the
-        shard-order concatenation of outputs equal the serial pair list.
+        Contiguity in unit order keeps each shard spatially coherent (the
+        REUSE buffer stays effective within a leaf shard; FM partitions
+        stay in traversal order) and makes the shard-order concatenation of
+        outputs equal the serial pair list.
         """
-        shard_count = max(1, min(self.workers, len(leaves)))
-        size = math.ceil(len(leaves) / shard_count)
-        return [leaves[i : i + size] for i in range(0, len(leaves), size)]
+        shard_count = max(1, min(self.workers, len(units)))
+        size = math.ceil(len(units) / shard_count)
+        return [units[i : i + size] for i in range(0, len(units), size)]
+
+    def _handoff_enabled(self, algorithm: JoinAlgorithm) -> bool:
+        """Whether shard-boundary carry state is threaded between shards.
+
+        ``"auto"`` enables the handoff only for the *configured* inline
+        pool, where shards run sequentially anyway and the serial REUSE
+        chain is free; ``"always"`` additionally pipelines forked workers
+        (work-optimal, not wall-clock-optimal); ``"never"`` disables it.
+        """
+        if not algorithm.supports_handoff:
+            return False
+        if self.reuse_handoff == "always":
+            return True
+        if self.reuse_handoff == "never":
+            return False
+        return self.pool == "inline"
 
     def _run_chunks(
-        self, algorithm: JoinAlgorithm, ctx: JoinContext, chunks: List[List[Node]]
+        self, algorithm: JoinAlgorithm, ctx: JoinContext, chunks: List[Sequence[object]]
     ) -> Tuple[List[ShardResult], bool]:
         """Run every chunk, preferring forked workers; returns (results, forked)."""
+        handoff = self._handoff_enabled(algorithm)
         if self.pool in ("auto", "fork") and len(chunks) > 1:
-            pool = self._make_fork_pool(algorithm, ctx, chunks)
+            pool = self._make_fork_pool(algorithm, ctx, chunks, handoff)
             if pool is not None:
                 # Only pool *creation* falls back to inline; an error raised
                 # by the join itself inside a worker propagates unchanged.
                 with pool:
+                    if handoff:
+                        # Boundary-chained pipeline: each shard needs its
+                        # predecessor's final REUSE buffer, so shards are
+                        # dispatched in order and the carry crosses the
+                        # pipe between workers via the parent.
+                        results: List[ShardResult] = []
+                        carry: Optional[object] = None
+                        for index in range(len(chunks)):
+                            result = pool.apply(_worker_run_shard, (index, carry))
+                            carry = result.carry
+                            results.append(result)
+                        return results, True
                     return pool.map(_worker_run_shard, range(len(chunks))), True
-        results = [
-            _execute_shard(algorithm, ctx, chunk, index)
-            for index, chunk in enumerate(chunks)
-        ]
-        return results, False
+        return self._run_chunks_inline(algorithm, ctx, chunks, handoff), False
+
+    def _run_chunks_inline(
+        self,
+        algorithm: JoinAlgorithm,
+        ctx: JoinContext,
+        chunks: List[Sequence[object]],
+        handoff: bool,
+    ) -> List[ShardResult]:
+        """Sequential fallback through the same shard/merge path.
+
+        Every shard is rewound to the dispatch-time buffer state a forked
+        worker would inherit, so inline and forked runs charge identical
+        counters; the parent's buffer is likewise rewound afterwards (a
+        fork parent's buffer never sees the workers' traffic either).
+        """
+        isolate = len(chunks) > 1
+        dispatch_state = ctx.disk.buffer_state() if isolate else None
+        results = []
+        carry: Optional[object] = None
+        for index, chunk in enumerate(chunks):
+            if dispatch_state is not None and index > 0:
+                ctx.disk.restore_buffer_state(dispatch_state)
+            result = _execute_shard(
+                algorithm, ctx, chunk, index, carry=carry if handoff else None
+            )
+            carry = result.carry
+            results.append(result)
+        if dispatch_state is not None:
+            ctx.disk.restore_buffer_state(dispatch_state)
+        return results
 
     def _make_fork_pool(
-        self, algorithm: JoinAlgorithm, ctx: JoinContext, chunks: List[List[Node]]
+        self,
+        algorithm: JoinAlgorithm,
+        ctx: JoinContext,
+        chunks: List[Sequence[object]],
+        handoff: bool,
     ):
         """A fork worker pool, or ``None`` when unavailable and pool='auto'."""
         try:
@@ -186,7 +280,7 @@ class ShardedExecutor:
             return context.Pool(
                 min(self.workers, len(chunks)),
                 initializer=_worker_init,
-                initargs=(algorithm, ctx, chunks),
+                initargs=(algorithm, ctx, chunks, handoff),
             )
         except (OSError, ValueError, ImportError) as error:
             if self.pool == "fork":
@@ -236,5 +330,9 @@ def executor_for(config: EngineConfig):
     if config.executor == "serial":
         return SerialExecutor()
     if config.executor == "sharded":
-        return ShardedExecutor(workers=config.workers, pool=config.pool)
+        return ShardedExecutor(
+            workers=config.workers,
+            pool=config.pool,
+            reuse_handoff=config.reuse_handoff,
+        )
     raise ValueError(f"unknown executor {config.executor!r}")

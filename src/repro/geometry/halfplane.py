@@ -29,6 +29,11 @@ class Halfplane:
 
     __slots__ = ("a", "b", "c")
 
+    def __reduce__(self):
+        # Frozen dataclasses with __slots__ need an explicit pickle path
+        # (the default slot-state restore setattrs on a frozen instance).
+        return (Halfplane, (self.a, self.b, self.c))
+
     def value(self, p: Point) -> float:
         """Signed evaluation ``a*x + b*y - c`` (non-positive inside)."""
         return self.a * p.x + self.b * p.y - self.c

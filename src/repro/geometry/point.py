@@ -29,6 +29,13 @@ class Point:
 
     __slots__ = ("x", "y")
 
+    def __reduce__(self):
+        # A frozen dataclass with __slots__ cannot use pickle's default
+        # slot-state path (it setattrs on a frozen instance); rebuilding
+        # through the constructor keeps points picklable — the sharded
+        # executor ships REUSE-buffer cells between worker processes.
+        return (Point, (self.x, self.y))
+
     def distance_to(self, other: "Point") -> float:
         """Euclidean distance to ``other``."""
         return math.hypot(self.x - other.x, self.y - other.y)

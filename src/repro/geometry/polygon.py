@@ -150,13 +150,30 @@ class ConvexPolygon:
     # ------------------------------------------------------------------
     def contains_point(self, p: Point, eps: float = _EPS) -> bool:
         """Whether ``p`` lies inside or on the boundary of the polygon."""
+        return self._contains_point(p, -eps)
+
+    def contains_point_interior(self, p: Point, eps: float = _EPS) -> bool:
+        """Whether ``p`` lies strictly inside the polygon, by an ``eps``
+        margin on every edge.
+
+        The strict counterpart of :meth:`contains_point`: a point within
+        ``eps`` of the boundary is rejected, so a positive answer implies a
+        positive-area overlap with any other region whose closure contains
+        ``p`` — the guarantee the join algorithms' containment shortcut
+        needs under the exclude-zero-area tie convention.
+        """
+        return self._contains_point(p, eps)
+
+    def _contains_point(self, p: Point, margin: float) -> bool:
+        """Shared edge loop: ``p`` must clear every edge by ``margin``
+        (negative = closed test with tolerance, positive = strict)."""
         if self.is_empty():
             return False
         verts = self._vertices
         for i, v in enumerate(verts):
             w = verts[(i + 1) % len(verts)]
             cross = (w.x - v.x) * (p.y - v.y) - (w.y - v.y) * (p.x - v.x)
-            if cross < -eps * max(1.0, abs(w.x - v.x) + abs(w.y - v.y)):
+            if cross < margin * max(1.0, abs(w.x - v.x) + abs(w.y - v.y)):
                 return False
         return True
 
@@ -169,14 +186,39 @@ class ConvexPolygon:
     def intersects(self, other: "ConvexPolygon", eps: float = _EPS) -> bool:
         """Convex/convex intersection via the separating axis theorem.
 
-        Touching polygons (sharing only boundary) count as intersecting,
-        which matches the paper's closed Voronoi cells: two adjacent cells of
-        the same diagram share an edge, and a shared boundary point is a
-        legitimate common-influence location.
+        Touching polygons (sharing only boundary) count as intersecting —
+        the *closed-set* test.  The filter phases use it because it is
+        conservative: a candidate whose approximate cell merely touches a
+        target must survive until the exact predicate decides.  The join
+        predicate itself is :meth:`intersects_interior`.
         """
         if self.is_empty() or other.is_empty():
             return False
-        return not _separating_axis_exists(self._vertices, other._vertices, eps)
+        return not _separating_axis_exists(
+            self._vertices, other._vertices, eps, boundary_counts=True
+        )
+
+    def intersects_interior(self, other: "ConvexPolygon", eps: float = _EPS) -> bool:
+        """Whether the polygons overlap with positive area (open-set test).
+
+        This is the library's boundary-tie convention for the join
+        predicate: two cells that share only a zero-area contact (an edge
+        segment or a single vertex, e.g. when two bisectors fall exactly
+        colinear) do **not** join.  Separation is accepted as soon as the
+        overlap depth along some edge normal is within ``eps`` of zero, so
+        the test is the epsilon-guarded complement of :meth:`intersects`.
+
+        For convex polygons the separating-axis test over both polygons'
+        edge normals is complete for weak separation as well: a line that
+        weakly separates two convex polygons touching at a vertex or edge
+        can always be chosen parallel to an edge of one of them (the
+        separating normal cone at the contact is spanned by edge normals).
+        """
+        if self.is_empty() or other.is_empty():
+            return False
+        return not _separating_axis_exists(
+            self._vertices, other._vertices, eps, boundary_counts=False
+        )
 
     def clip_halfplane(self, hp: Halfplane) -> "ConvexPolygon":
         """Clip the polygon with the closed halfplane ``hp``.
@@ -303,9 +345,16 @@ def _rect_halfplanes(rect: Rect) -> List[Halfplane]:
 
 
 def _separating_axis_exists(
-    a: Sequence[Point], b: Sequence[Point], eps: float
+    a: Sequence[Point], b: Sequence[Point], eps: float, boundary_counts: bool = True
 ) -> bool:
-    """Whether some edge normal of ``a`` or ``b`` separates the two hulls."""
+    """Whether some edge normal of ``a`` or ``b`` separates the two hulls.
+
+    With ``boundary_counts`` (the closed-set test) an axis only separates
+    when the hulls are a clear ``eps`` gap apart, so touching hulls count as
+    intersecting.  Without it (the open-set test) an axis separates as soon
+    as the overlap depth shrinks to within ``eps`` of zero, so a zero-area
+    contact counts as separated.
+    """
     for polygon, other in ((a, b), (b, a)):
         n = len(polygon)
         for i in range(n):
@@ -319,6 +368,7 @@ def _separating_axis_exists(
             # Max projection of this polygon onto the normal.
             self_max = max((p.x - v.x) * nx + (p.y - v.y) * ny for p in polygon)
             other_min = min((p.x - v.x) * nx + (p.y - v.y) * ny for p in other)
-            if other_min > max(self_max, 0.0) + eps * norm:
+            margin = eps * norm if boundary_counts else -eps * norm
+            if other_min > max(self_max, 0.0) + margin:
                 return True
     return False

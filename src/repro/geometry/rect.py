@@ -25,6 +25,11 @@ class Rect:
 
     __slots__ = ("xmin", "ymin", "xmax", "ymax")
 
+    def __reduce__(self):
+        # Frozen dataclasses with __slots__ need an explicit pickle path
+        # (the default slot-state restore setattrs on a frozen instance).
+        return (Rect, (self.xmin, self.ymin, self.xmax, self.ymax))
+
     def __post_init__(self) -> None:
         if self.xmin > self.xmax or self.ymin > self.ymax:
             raise ValueError(

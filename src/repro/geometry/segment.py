@@ -21,6 +21,11 @@ class Segment:
 
     __slots__ = ("a", "b")
 
+    def __reduce__(self):
+        # Frozen dataclasses with __slots__ need an explicit pickle path
+        # (the default slot-state restore setattrs on a frozen instance).
+        return (Segment, (self.a, self.b))
+
     def length(self) -> float:
         """Euclidean length of the segment."""
         return self.a.distance_to(self.b)

@@ -58,11 +58,12 @@ def definitional_cij_pairs(
 ) -> Set[Tuple[int, int]]:
     """Second oracle: verify each intersecting pair by a witness location.
 
-    For every pair whose cells intersect, the centroid of the common region
-    is used as a witness ``r`` and checked to be at least as close to ``p``
-    as to every other point of ``P`` (and symmetrically for ``q``).  Pairs
-    that only touch on a cell boundary have witnesses that tie, which the
-    closed-cell definition accepts.
+    For every pair whose common region has positive area, the centroid of
+    that region is used as a witness ``r`` and checked to be at least as
+    close to ``p`` as to every other point of ``P`` (and symmetrically for
+    ``q``).  Pairs whose cells only touch in a zero-area contact (a
+    degenerate segment or point region) are excluded — the library-wide
+    boundary-tie convention shared with :meth:`VoronoiCell.intersects`.
     """
     if oids_p is None:
         oids_p = list(range(len(points_p)))
@@ -75,7 +76,10 @@ def definitional_cij_pairs(
     for cell_p in diagram_p:
         for cell_q in diagram_q:
             region = cell_p.common_region(cell_q)
-            if not region.vertices:
+            if region.is_empty() or region.area() <= tolerance:
+                # A degenerate region (fewer than three vertices, or three
+                # or more colinear ones with vanishing area) is a zero-area
+                # contact, which the tie convention excludes from the join.
                 continue
             witness = region.centroid()
             if _is_witness(witness, cell_p.site, points_p, tolerance) and _is_witness(

@@ -52,7 +52,8 @@ def process_q_leaves(
     start_counters: IOCounters,
     reuse_cells: bool = True,
     use_phi_pruning: bool = True,
-) -> List[Tuple[int, int]]:
+    initial_reuse: Optional[Dict[int, VoronoiCell]] = None,
+) -> Tuple[List[Tuple[int, int]], Dict[int, VoronoiCell]]:
     """Run the NM-CIJ per-leaf pipeline over a sequence of ``R_Q`` leaves.
 
     This is the complete join when ``leaves`` is the full Hilbert-ordered
@@ -63,12 +64,21 @@ def process_q_leaves(
     state or the REUSE carry-over, so concatenating shard outputs in leaf
     order reproduces the serial pair list exactly.
 
+    ``initial_reuse`` seeds the REUSE buffer for the first leaf: the
+    sharded executor's boundary handoff passes shard *k*'s final buffer
+    here so shard *k+1* reuses the cells the serial run would have carried
+    across the boundary instead of recomputing them.  The final buffer
+    (the cells of the last processed leaf) is returned alongside the pairs
+    so it can be handed to the next shard in turn.
+
     Progress samples are recorded after every leaf relative to
     ``start_counters`` (shard-local counters for a forked worker).
     """
     disk = tree_q.disk
     pairs: List[Tuple[int, int]] = []
-    reuse_buffer: Dict[int, VoronoiCell] = {}
+    reuse_buffer: Dict[int, VoronoiCell] = (
+        dict(initial_reuse) if reuse_cells and initial_reuse else {}
+    )
 
     for leaf in leaves:
         # (1) Voronoi cells of the Q points in this leaf.
@@ -98,15 +108,18 @@ def process_q_leaves(
             stats.cells_computed_p += len(computed)
             cells_p.update(computed)
 
-        # (4) Report intersecting pairs.  Candidates inside a target cell
-        # are guaranteed hits for that target (case 1 of Section IV-A).
+        # (4) Report intersecting pairs.  Candidates strictly inside a
+        # target cell are guaranteed hits for that target (case 1 of
+        # Section IV-A); the strict test keeps the shortcut consistent with
+        # the exclude-zero-area tie convention of the exact predicate, and
+        # points on the boundary simply fall through to it.
         joined_candidates = set()
         candidate_mbrs = {p_oid: cells_p[p_oid].mbr() for p_oid, _ in candidates}
         for q_oid, cell_q in cells_q.items():
             q_mbr = cell_q.mbr()
             for p_oid, p_point in candidates:
                 cell_p = cells_p[p_oid]
-                if cell_q.polygon.contains_point(p_point) or (
+                if cell_q.polygon.contains_point_interior(p_point) or (
                     candidate_mbrs[p_oid].intersects(q_mbr)
                     and cell_p.intersects(cell_q)
                 ):
@@ -120,7 +133,7 @@ def process_q_leaves(
         accesses = disk.counters.diff(start_counters).page_accesses
         stats.record_progress(accesses, len(pairs))
 
-    return pairs
+    return pairs, reuse_buffer
 
 
 def nm_cij(

@@ -89,6 +89,18 @@ class LRUBuffer:
         """Page identifiers from least to most recently used (for tests)."""
         return list(self._pages.keys())
 
+    def restore(self, pages: list) -> None:
+        """Replace the resident set with ``pages`` (LRU to MRU order).
+
+        Used to rewind the buffer to a previously captured state (e.g. the
+        sharded executor's inline fallback, which gives every shard the
+        same starting buffer a forked worker would inherit).  No eviction
+        callbacks fire: the caller restores any dependent caches itself.
+        """
+        if len(pages) > self._capacity:
+            raise ValueError("cannot restore more pages than the capacity holds")
+        self._pages = OrderedDict((page_id, None) for page_id in pages)
+
     def _admit(self, page_id: Hashable) -> None:
         self._pages[page_id] = None
         if len(self._pages) > self._capacity:

@@ -205,6 +205,22 @@ class DiskManager:
         """Zero the I/O counters without touching pages or the buffer."""
         self.counters.reset()
 
+    def buffer_state(self):
+        """Opaque snapshot of buffer residency plus the decoded-page cache.
+
+        Together with :meth:`restore_buffer_state` this lets the sharded
+        executor's inline fallback give every shard the exact buffer a
+        forked worker would inherit (the parent's state at dispatch time),
+        instead of leaking one shard's warm pages into the next.
+        """
+        return (self.buffer.contents(), dict(self._cache))
+
+    def restore_buffer_state(self, state) -> None:
+        """Rewind buffer residency and the decoded-page cache to ``state``."""
+        pages, cache = state
+        self.buffer.restore(list(pages))
+        self._cache = dict(cache)
+
     def reopen_for_worker(self) -> None:
         """Give a forked worker its own read-only backend handles.
 

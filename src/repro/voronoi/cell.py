@@ -36,8 +36,16 @@ class VoronoiCell:
         return self.polygon.contains_point(location)
 
     def intersects(self, other: "VoronoiCell") -> bool:
-        """The CIJ predicate: do the two influence regions share a location?"""
-        return self.polygon.intersects(other.polygon)
+        """The CIJ predicate: do the two influence regions properly overlap?
+
+        Boundary-tie convention (shared by the brute-force oracle and by
+        FM/PM/NM alike): the pair joins only when the common influence
+        region has positive area.  Cells that touch in a zero-area contact
+        — an edge segment or a single vertex, as happens when bisectors of
+        the two pointsets fall exactly colinear — are *excluded*, matching
+        the epsilon-guarded polygon predicates the algorithms already used.
+        """
+        return self.polygon.intersects_interior(other.polygon)
 
     def common_region(self, other: "VoronoiCell") -> ConvexPolygon:
         """The common influence region ``R(p, q)`` (possibly empty)."""

@@ -70,9 +70,12 @@ class VoronoiDiagram:
         return sum(cell.area() for cell in self.cells.values())
 
     def intersecting_pairs(self, other: "VoronoiDiagram") -> List[Tuple[int, int]]:
-        """All pairs of cell oids whose polygons intersect (nested loops).
+        """All pairs of cell oids whose polygons properly overlap (nested
+        loops over :meth:`VoronoiCell.intersects`, which excludes zero-area
+        boundary contact).
 
-        This is the brute-force CIJ used as a correctness oracle.
+        This is the brute-force CIJ used as a correctness oracle; it shares
+        the tie convention with FM/PM/NM by construction.
         """
         pairs: List[Tuple[int, int]] = []
         for cell_a in self.cells.values():

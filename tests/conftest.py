@@ -9,12 +9,12 @@ from hypothesis import settings
 from hypothesis import strategies as st
 
 # Tier-1 is a deterministic gate: derandomize hypothesis so every run draws
-# the same examples.  Randomized exploration remains available locally via
-# HYPOTHESIS_PROFILE=explore; it can surface known tolerance-degenerate
-# configurations (e.g. exactly colinear Voronoi bisectors, where a
-# zero-area cell contact is counted by the brute oracle but not by the
-# algorithms' epsilon-guarded predicates — see ROADMAP "boundary-tie
-# semantics").
+# the same examples.  Randomized exploration runs via HYPOTHESIS_PROFILE=
+# explore (locally and in the scheduled, non-blocking CI job): since the
+# exclude-zero-area boundary-tie convention landed, the brute oracle and
+# FM/PM/NM agree even on tolerance-degenerate configurations such as
+# exactly colinear Voronoi bisectors (pinned in
+# tests/join/test_boundary_ties.py).
 settings.register_profile("deterministic", derandomize=True)
 settings.register_profile("explore", derandomize=False)
 settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "deterministic"))

@@ -67,12 +67,16 @@ class TestEngineAPI:
         with pytest.raises(ValueError, match="share one DiskManager"):
             default_engine().run("nm", workload_a.tree_p, workload_b.tree_q)
 
-    def test_fm_cannot_be_sharded(self):
+    def test_brute_cannot_be_sharded(self):
         workload = make_workload()
         with pytest.raises(ValueError, match="does not support sharded"):
             default_engine().run(
-                "fm", workload.tree_p, workload.tree_q, executor="sharded"
+                "brute", workload.tree_p, workload.tree_q, executor="sharded"
             )
+
+    def test_unknown_handoff_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown reuse_handoff"):
+            EngineConfig(reuse_handoff="sometimes")
 
     def test_custom_algorithm_registration(self):
         engine = JoinEngine()
@@ -119,7 +123,7 @@ class TestSerialMatchesLegacyEntryPoints:
 
 class TestShardedExecution:
     @pytest.mark.parametrize("pool", ["fork", "inline"])
-    @pytest.mark.parametrize("algorithm", ["nm", "pm"])
+    @pytest.mark.parametrize("algorithm", ["nm", "pm", "fm"])
     def test_pairs_byte_identical_to_serial(self, algorithm, pool):
         _, serial = run(algorithm)
         _, sharded = run(algorithm, executor="sharded", workers=3, pool=pool)
@@ -152,12 +156,15 @@ class TestShardedExecution:
         the filter/cell work is identical to serial because shard outputs
         never depend on shard boundaries."""
         _, serial = run("nm")
-        _, sharded = run("nm", executor="sharded", workers=3, pool="inline")
+        _, sharded = run(
+            "nm", executor="sharded", workers=3, pool="inline", reuse_handoff="never"
+        )
         assert sharded.stats.cells_computed_q == serial.stats.cells_computed_q
         assert sharded.stats.filter_candidates == serial.stats.filter_candidates
         assert sharded.stats.filter_true_hits == serial.stats.filter_true_hits
-        # REUSE cannot carry cells across shard boundaries, so the sharded
-        # run recomputes at least as many P cells as the serial one.
+        # Without the boundary handoff REUSE cannot carry cells across a
+        # shard boundary, so the sharded run recomputes at least as many P
+        # cells as the serial one.
         assert sharded.stats.cells_computed_p >= serial.stats.cells_computed_p
         assert (
             sharded.stats.cells_computed_p + sharded.stats.cells_reused_p
@@ -186,6 +193,150 @@ class TestShardedExecution:
         )
         _, serial = run("nm")
         assert result.pairs == serial.pairs
+
+
+class TestShardedFM:
+    """FM-CIJ shards by top-level R'_P join partitions (the partitioned
+    synchronous traversal); the merged output must be byte-identical to the
+    serial coupled traversal."""
+
+    @pytest.mark.parametrize("pool", ["fork", "inline"])
+    @pytest.mark.parametrize("workers", [2, 3, 7])
+    def test_fm_sharded_matches_serial(self, workers, pool):
+        _, serial = run("fm")
+        _, sharded = run("fm", executor="sharded", workers=workers, pool=pool)
+        assert sharded.pairs == serial.pairs
+        assert sharded.stats.mat_page_accesses == serial.stats.mat_page_accesses
+        assert sharded.stats.cells_computed_p == serial.stats.cells_computed_p
+        assert sharded.stats.cells_computed_q == serial.stats.cells_computed_q
+
+    def test_fm_merged_counters_match_disk_counters(self):
+        workload, result = run("fm", executor="sharded", workers=3, pool="fork")
+        assert (
+            result.stats.total_page_accesses
+            == workload.disk.counters.page_accesses
+        )
+
+    def test_fm_more_workers_than_partitions(self):
+        _, serial = run("fm")
+        _, sharded = run("fm", executor="sharded", workers=10_000, pool="inline")
+        assert sharded.pairs == serial.pairs
+
+
+class TestReuseHandoff:
+    """The shard-boundary REUSE handoff: shard k's final cell buffer seeds
+    shard k+1, restoring the serial reuse chain."""
+
+    @pytest.mark.parametrize("pool", ["fork", "inline"])
+    def test_handoff_restores_serial_reuse_accounting(self, pool):
+        _, serial = run("nm")
+        _, sharded = run(
+            "nm",
+            executor="sharded",
+            workers=3,
+            pool=pool,
+            reuse_handoff="always",
+        )
+        assert sharded.pairs == serial.pairs
+        assert sharded.stats.cells_computed_p == serial.stats.cells_computed_p
+        assert sharded.stats.cells_reused_p == serial.stats.cells_reused_p
+
+    def test_handoff_reduces_boundary_recomputation(self):
+        """Cache-enabled sharded NM recomputes fewer P cells than the
+        independent-shard run — down to exactly serial levels."""
+        _, serial = run("nm")
+        _, independent = run(
+            "nm", executor="sharded", workers=3, pool="inline", reuse_handoff="never"
+        )
+        _, handoff = run(
+            "nm", executor="sharded", workers=3, pool="inline", reuse_handoff="always"
+        )
+        assert handoff.stats.cells_computed_p == serial.stats.cells_computed_p
+        assert independent.stats.cells_computed_p >= handoff.stats.cells_computed_p
+        assert independent.pairs == handoff.pairs == serial.pairs
+
+    def test_auto_handoff_applies_to_configured_inline_pool(self):
+        """'auto' resolves from the configured pool, not the runtime
+        fallback, so results stay machine-independent: inline gets the free
+        sequential handoff, fork/auto keep independent parallel shards."""
+        _, serial = run("nm")
+        _, inline = run("nm", executor="sharded", workers=3, pool="inline")
+        assert inline.stats.cells_computed_p == serial.stats.cells_computed_p
+        _, forked = run("nm", executor="sharded", workers=3, pool="fork")
+        assert forked.stats.cells_computed_p >= serial.stats.cells_computed_p
+
+    def test_handoff_noop_without_reuse(self):
+        _, serial = run("nm", reuse_cells=False)
+        _, sharded = run(
+            "nm",
+            executor="sharded",
+            workers=3,
+            pool="inline",
+            reuse_handoff="always",
+            reuse_cells=False,
+        )
+        assert sharded.pairs == serial.pairs
+        assert sharded.stats.cells_reused_p == 0
+
+
+class TestInlineShardIsolation:
+    """The fork-less inline fallback must charge the same counters a forked
+    execution would: every shard starts from the dispatch-time buffer state
+    instead of inheriting the previous shard's warm pages."""
+
+    def fingerprint(self, result):
+        stats = result.stats
+        return (
+            stats.mat_page_accesses,
+            stats.join_page_accesses,
+            stats.cells_computed_p,
+            stats.cells_computed_q,
+            stats.cells_reused_p,
+            stats.filter_candidates,
+            stats.filter_true_hits,
+            [(s.page_accesses, s.pairs_reported) for s in stats.progress],
+        )
+
+    @pytest.mark.parametrize("algorithm", ["nm", "pm", "fm"])
+    def test_inline_counters_identical_to_fork(self, algorithm):
+        _, forked = run(
+            algorithm,
+            executor="sharded",
+            workers=3,
+            pool="fork",
+            reuse_handoff="never",
+        )
+        _, inline = run(
+            algorithm,
+            executor="sharded",
+            workers=3,
+            pool="inline",
+            reuse_handoff="never",
+        )
+        assert inline.pairs == forked.pairs
+        assert self.fingerprint(inline) == self.fingerprint(forked)
+
+    def test_chained_handoff_counters_identical_across_pools(self):
+        _, forked = run(
+            "nm", executor="sharded", workers=3, pool="fork", reuse_handoff="always"
+        )
+        _, inline = run(
+            "nm", executor="sharded", workers=3, pool="inline", reuse_handoff="always"
+        )
+        assert inline.pairs == forked.pairs
+        assert self.fingerprint(inline) == self.fingerprint(forked)
+
+    def test_parent_buffer_state_identical_to_fork(self):
+        """A fork parent's buffer never sees worker traffic; after the fix
+        the inline fallback leaves the shared buffer in the same
+        dispatch-time state instead of whatever the last shard warmed it
+        to — so the post-run buffer contents agree across pools."""
+        contents = {}
+        for pool in ("fork", "inline"):
+            workload, _ = run("nm", executor="sharded", workers=3, pool=pool,
+                              reuse_handoff="never")
+            contents[pool] = workload.disk.buffer.contents()
+        assert contents["inline"] == contents["fork"]
 
 
 class TestReuseBufferRegression:

@@ -51,7 +51,7 @@ class TestBackendEquivalence:
             assert result.pairs == reference.pairs, backend
             assert stats_fingerprint(result) == stats_fingerprint(reference), backend
 
-    @pytest.mark.parametrize("algorithm", ["nm", "pm"])
+    @pytest.mark.parametrize("algorithm", ["nm", "pm", "fm"])
     def test_sharded_results_identical_across_backends(self, algorithm):
         reference = run_on("memory", algorithm, executor="sharded", workers=3)
         for backend in STORAGE_BACKENDS[1:]:
@@ -59,16 +59,48 @@ class TestBackendEquivalence:
             assert result.pairs == reference.pairs, backend
             assert stats_fingerprint(result) == stats_fingerprint(reference), backend
 
+    @pytest.mark.parametrize("algorithm", ["nm", "pm", "fm"])
     @pytest.mark.parametrize("backend", list(STORAGE_BACKENDS))
-    def test_sharded_pairs_match_serial_on_every_backend(self, backend):
-        serial = run_on(backend, "nm")
-        sharded = run_on(backend, "nm", executor="sharded", workers=3)
+    def test_sharded_pairs_match_serial_on_every_backend(self, backend, algorithm):
+        serial = run_on(backend, algorithm)
+        sharded = run_on(backend, algorithm, executor="sharded", workers=3)
         assert sharded.pairs == serial.pairs
+
+    @pytest.mark.parametrize("backend", list(STORAGE_BACKENDS))
+    def test_sharded_fm_stats_identical_to_serial(self, backend):
+        """The partitioned traversal *is* the serial coupled traversal, so
+        a sharded FM matches the serial JoinStats byte for byte — the
+        progress curve included."""
+        serial = run_on(backend, "fm")
+        sharded = run_on(backend, "fm", executor="sharded", workers=3)
+        assert sharded.pairs == serial.pairs
+        assert stats_fingerprint(sharded) == stats_fingerprint(serial)
+
+    @pytest.mark.parametrize("backend", list(STORAGE_BACKENDS))
+    def test_cache_enabled_sharded_nm_matches_serial_accounting(self, backend):
+        """With the shard-boundary REUSE handoff the serial reuse chain is
+        restored: every scalar JoinStats counter equals the serial run's
+        (progress samples keep the same pair milestones but different
+        access offsets, because the executor enumerates the leaves up
+        front while the serial run interleaves them)."""
+        serial = run_on(backend, "nm")
+        sharded = run_on(
+            backend, "nm", executor="sharded", workers=3, reuse_handoff="always"
+        )
+        assert sharded.pairs == serial.pairs
+        serial_fp = stats_fingerprint(serial)
+        sharded_fp = stats_fingerprint(sharded)
+        serial_fp.pop("progress"), sharded_fp.pop("progress")
+        assert sharded_fp == serial_fp
+        assert [s.pairs_reported for s in sharded.stats.progress] == [
+            s.pairs_reported for s in serial.stats.progress
+        ]
 
     def test_results_agree_with_brute_oracle(self):
         oracle = set(run_on("memory", "brute").pairs)
         for backend in STORAGE_BACKENDS[1:]:
-            assert set(run_on(backend, "nm").pairs) == oracle
+            for algorithm in ("nm", "pm", "fm"):
+                assert set(run_on(backend, algorithm).pairs) == oracle, algorithm
 
 
 class TestFileBackedPaging:

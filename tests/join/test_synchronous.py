@@ -9,7 +9,12 @@ from repro.geometry.rect import Rect
 from repro.index.bulkload import bulk_load_records
 from repro.index.entries import LeafEntry
 from repro.index.rtree import RTree
-from repro.join.synchronous import count_join_pairs, synchronous_join
+from repro.join.synchronous import (
+    count_join_pairs,
+    join_from_seeds,
+    partitioned_join_seeds,
+    synchronous_join,
+)
 from repro.storage.disk import DiskManager
 
 
@@ -76,6 +81,61 @@ class TestSynchronousJoin:
         expected = sum(1 for r in tall_rects if r.intersects(short_rects[0]))
         assert count_join_pairs(tall, short) == expected
         assert count_join_pairs(short, tall) == expected
+
+    def test_partitioned_traversal_is_byte_identical(self):
+        """Concatenating the partitions' DFS outputs must reproduce the
+        single-stack traversal exactly: same pair *sequence* and the same
+        page-access sequence (reads, logical reads and buffer hits)."""
+        import random
+
+        rng = random.Random(93)
+        def random_rects(count):
+            rects = []
+            for _ in range(count):
+                x = rng.uniform(0, 9000)
+                y = rng.uniform(0, 9000)
+                rects.append(
+                    Rect(x, y, x + rng.uniform(10, 700), y + rng.uniform(10, 700))
+                )
+            return rects
+
+        rects_a, rects_b = random_rects(80), random_rects(70)
+
+        def build(disk):
+            return (
+                rect_tree(disk, "A", rects_a, leaf_capacity=4),
+                rect_tree(disk, "B", rects_b, leaf_capacity=4),
+            )
+
+        disk_classic = DiskManager(buffer_pages=6)
+        tree_a, tree_b = build(disk_classic)
+        snapshot = disk_classic.counters.snapshot()
+        classic = [(a.oid, b.oid) for a, b in synchronous_join(tree_a, tree_b)]
+        classic_io = disk_classic.counters.diff(snapshot)
+
+        disk_part = DiskManager(buffer_pages=6)
+        tree_a2, tree_b2 = build(disk_part)
+        snapshot2 = disk_part.counters.snapshot()
+        partitioned = []
+        partitions = partitioned_join_seeds(tree_a2, tree_b2)
+        assert len(partitions) > 1  # the split is real on this input
+        for partition in partitions:
+            partitioned.extend(
+                (a.oid, b.oid)
+                for a, b in join_from_seeds(tree_a2, tree_b2, partition.seeds)
+            )
+        part_io = disk_part.counters.diff(snapshot2)
+
+        assert partitioned == classic  # sequence equality, order included
+        for field in ("reads", "logical_reads", "buffer_hits", "writes"):
+            assert getattr(part_io, field) == getattr(classic_io, field), field
+
+    def test_partitioned_seeds_of_empty_tree(self):
+        disk = DiskManager()
+        tree_a = rect_tree(disk, "A", [Rect(0, 0, 1, 1)])
+        empty = RTree(disk, "B")
+        assert partitioned_join_seeds(tree_a, empty) == []
+        assert partitioned_join_seeds(empty, tree_a) == []
 
     def test_point_trees_join_on_coincident_points(self):
         points = uniform_points(100, seed=92)

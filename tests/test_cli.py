@@ -45,3 +45,46 @@ class TestCommands:
     def test_invalid_join_method_rejected_by_argparse(self):
         with pytest.raises(SystemExit):
             main(["join", "--method", "bogus"])
+
+    def test_sharded_fm_join_runs(self, capsys):
+        """--executor sharded is now legal for fm (partitioned traversal)."""
+        assert main([
+            "join", "--n-p", "40", "--n-q", "30", "--method", "fm",
+            "--executor", "sharded", "--workers", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "sharded (2 workers)" in out
+
+
+class TestWorkersValidation:
+    """--workers used to be silently ignored with --executor serial; both
+    contradictions are now rejected with a clear parser error."""
+
+    def test_nonpositive_workers_rejected_everywhere(self, capsys):
+        for argv in (
+            ["join", "--workers", "0"],
+            ["join", "--workers", "-3", "--executor", "sharded"],
+        ):
+            with pytest.raises(SystemExit) as excinfo:
+                main(argv)
+            assert excinfo.value.code == 2
+            assert "--workers must be at least 1" in capsys.readouterr().err
+
+    def test_workers_with_serial_executor_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["join", "--workers", "4"])  # serial is the default
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "no effect with --executor serial" in err
+
+    def test_single_worker_with_serial_executor_allowed(self, capsys):
+        """--workers 1 states the serial fact explicitly; not an error."""
+        assert main(["join", "--n-p", "30", "--n-q", "20", "--workers", "1"]) == 0
+        assert "result pairs" in capsys.readouterr().out
+
+    def test_workers_with_sharded_executor_allowed(self, capsys):
+        assert main([
+            "join", "--n-p", "30", "--n-q", "20",
+            "--executor", "sharded", "--workers", "3",
+        ]) == 0
+        assert "result pairs" in capsys.readouterr().out
