@@ -31,7 +31,19 @@ from repro.datasets import (
     real_like_dataset,
     uniform_points,
 )
-from repro.datasets.workload import WorkloadConfig, build_workload
+from repro.datasets.workload import (
+    DynamicWorkloadConfig,
+    WorkloadConfig,
+    build_workload,
+    generate_update_batches,
+)
+from repro.dynamic import (
+    DynamicJoinSession,
+    PairDelta,
+    Update,
+    UpdateBatch,
+    load_update_stream,
+)
 from repro.engine import EngineConfig, JoinEngine, default_engine
 from repro.geometry import ConvexPolygon, Point, Rect
 from repro.join import (
@@ -46,7 +58,7 @@ from repro.join import (
 )
 from repro.voronoi import VoronoiCell, VoronoiDiagram, compute_voronoi_cell
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Point",
@@ -73,6 +85,13 @@ __all__ = [
     "real_like_dataset",
     "build_workload",
     "WorkloadConfig",
+    "DynamicWorkloadConfig",
+    "DynamicJoinSession",
+    "PairDelta",
+    "Update",
+    "UpdateBatch",
+    "generate_update_batches",
+    "load_update_stream",
     "DOMAIN",
 ]
 

@@ -32,6 +32,12 @@ across shard boundaries exactly like the serial run::
 Same join with pages stored in (and read back from) a real file::
 
     python -m repro.cli join --n-p 500 --n-q 500 --storage file
+
+Apply a dynamic update stream after the initial join and print the pair
+delta of every batch (see :mod:`repro.dynamic.updates` for the file
+format)::
+
+    python -m repro.cli join --n-p 500 --n-q 500 --updates stream.txt
 """
 
 from __future__ import annotations
@@ -91,12 +97,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     join.add_argument(
         "--reuse-handoff",
-        default="auto",
+        default=None,
         choices=("auto", "always", "never"),
         help="carry NM's REUSE buffer across shard boundaries (sharded "
-        "executor): auto enables it for the free inline pool, always "
-        "chains forked workers too (work-optimal pipeline), never keeps "
-        "shards independent",
+        "executor): auto (the default) enables it for the free inline "
+        "pool, always chains forked workers too (work-optimal pipeline), "
+        "never keeps shards independent",
+    )
+    join.add_argument(
+        "--updates",
+        default=None,
+        metavar="FILE",
+        help="after the initial join, apply this update-stream file "
+        "incrementally (one 'insert SIDE OID X Y' / 'delete SIDE OID' per "
+        "line, batches separated by '---') and print each batch's pair "
+        "delta; requires --executor serial",
     )
     join.add_argument(
         "--storage",
@@ -157,6 +172,28 @@ def _validate_workers(parser: argparse.ArgumentParser, args: argparse.Namespace)
     return args.workers if args.workers is not None else 2
 
 
+def _validate_updates(parser: argparse.ArgumentParser, args: argparse.Namespace) -> None:
+    """Reject executor/handoff combinations that contradict ``--updates``.
+
+    Incremental maintenance mutates the shared source trees, which shard
+    workers must never do, and it bypasses the sharded REUSE machinery
+    entirely — both contradictions fail loudly instead of being ignored.
+    """
+    if args.updates is None:
+        return
+    if args.executor != "serial":
+        parser.error(
+            f"--updates requires --executor serial: incremental maintenance "
+            f"mutates the source trees, which {args.executor!r} shard workers "
+            "cannot do (drop --executor, or apply the updates first)"
+        )
+    if args.reuse_handoff is not None:
+        parser.error(
+            "--reuse-handoff applies to sharded NM-CIJ shard boundaries and "
+            "has no effect on --updates maintenance; drop one of the flags"
+        )
+
+
 def _cmd_join(
     n_p: int,
     n_q: int,
@@ -167,9 +204,12 @@ def _cmd_join(
     reuse_handoff: str,
     storage: Optional[str],
     storage_path: Optional[str],
+    updates: Optional[str] = None,
 ) -> int:
     points_p = uniform_points(n_p, seed=seed)
     points_q = uniform_points(n_q, seed=seed + 10_000)
+    if updates is not None:
+        return _cmd_join_with_updates(points_p, points_q, storage, storage_path, updates)
     try:
         result = common_influence_join(
             points_p,
@@ -199,6 +239,61 @@ def _cmd_join(
     return 0
 
 
+def _cmd_join_with_updates(
+    points_p,
+    points_q,
+    storage: Optional[str],
+    storage_path: Optional[str],
+    updates_path: str,
+) -> int:
+    """Initial join plus an incremental update stream, printing pair deltas.
+
+    The maintenance bootstrap derives the initial answer itself (it is
+    algorithm-independent), so ``--method`` does not apply here.
+    """
+    from repro import DOMAIN, Rect, default_engine
+    from repro.datasets.workload import WorkloadConfig, build_workload
+    from repro.dynamic import load_update_stream
+
+    try:
+        batches = load_update_stream(updates_path)
+    except OSError as error:
+        print(f"error: cannot read --updates file: {error}", file=sys.stderr)
+        return 2
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    domain = DOMAIN.union(Rect.from_points(list(points_p) + list(points_q)))
+    config = WorkloadConfig(domain=domain, storage=storage, storage_path=storage_path)
+    engine = default_engine()
+    with build_workload(config, points_p=points_p, points_q=points_q) as workload:
+        # The session bootstrap *is* the initial join (every algorithm
+        # returns the same pair set), so no separate measured run is paid.
+        session = engine.open_dynamic(workload.tree_p, workload.tree_q, domain=domain)
+        print("algorithm       : delta-CIJ (incremental maintenance)")
+        print(f"initial pairs   : {len(session.pairs)}")
+        for number, batch in enumerate(batches, start=1):
+            try:
+                delta = session.apply_updates(batch)
+            except ValueError as error:
+                print(f"error: update batch {number}: {error}", file=sys.stderr)
+                return 2
+            print(
+                f"batch {number:2d}        : {len(batch)} updates  "
+                f"+{len(delta.added)} pairs  -{len(delta.removed)} pairs  "
+                f"({delta.stats.cells_invalidated} cells invalidated)"
+            )
+        totals = session.stats
+        print(f"final pairs     : {len(session.pairs)}")
+        print(
+            f"update totals   : {totals.updates_applied} updates in "
+            f"{totals.batches_applied} batches, "
+            f"{totals.cells_invalidated} cells invalidated, "
+            f"+{totals.pairs_emitted}/-{totals.pairs_retracted} pairs"
+        )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point used by both ``python -m repro.cli`` and the ``cij`` script."""
     parser = build_parser()
@@ -211,6 +306,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run_all(args.scale, args.markdown)
     if args.command == "join":
         workers = _validate_workers(parser, args)
+        _validate_updates(parser, args)
         return _cmd_join(
             args.n_p,
             args.n_q,
@@ -218,9 +314,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.method,
             args.executor,
             workers,
-            args.reuse_handoff,
+            args.reuse_handoff if args.reuse_handoff is not None else "auto",
             args.storage,
             args.storage_path,
+            args.updates,
         )
     parser.error(f"unhandled command {args.command!r}")
     return 2

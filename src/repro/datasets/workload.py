@@ -9,10 +9,12 @@ steps and returns a small record the harness and the examples both use.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
 
 from repro.datasets.synthetic import DOMAIN, uniform_points
+from repro.dynamic.updates import Update, UpdateBatch
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 from repro.index.bulkload import bulk_load_points
@@ -101,6 +103,105 @@ def build_indexed_pointset(
             for oid, point in enumerate(points):
                 tree.insert_point(oid, point)
     return tree
+
+
+@dataclass
+class DynamicWorkloadConfig:
+    """A dynamic workload: a base :class:`WorkloadConfig` plus an update stream.
+
+    :func:`generate_update_batches` turns this into concrete
+    :class:`~repro.dynamic.UpdateBatch` objects against a built workload;
+    the dynamic benchmarks, the differential tests and the CLI examples all
+    derive their streams from it so update workloads are reproducible from
+    one seed.
+    """
+
+    #: Static base workload the stream starts from.
+    base: WorkloadConfig = field(default_factory=WorkloadConfig)
+    #: Number of update batches in the stream.
+    batches: int = 5
+    #: Insert/delete operations per batch.
+    batch_size: int = 8
+    #: Fraction of operations that are inserts (the rest are deletes).
+    insert_fraction: float = 0.5
+    #: Which sides receive updates: ``"P"``, ``"Q"`` or ``"both"``.
+    sides: str = "both"
+    #: Seed of the update stream (independent of the base data seed).
+    seed: int = 0
+    #: Never delete a side below this many points (a join needs data).
+    min_side_size: int = 2
+
+    def __post_init__(self) -> None:
+        if self.sides not in ("P", "Q", "both"):
+            raise ValueError(
+                f"unknown sides {self.sides!r}; expected 'P', 'Q' or 'both'"
+            )
+        if not 0.0 <= self.insert_fraction <= 1.0:
+            raise ValueError("insert_fraction must lie in [0, 1]")
+        if self.batches < 1 or self.batch_size < 1:
+            raise ValueError("batches and batch_size must be positive")
+        if self.min_side_size < 1:
+            raise ValueError("min_side_size must be positive")
+
+
+def generate_update_batches(
+    workload: Workload, config: DynamicWorkloadConfig
+) -> List[UpdateBatch]:
+    """A reproducible insert/delete stream against a built workload.
+
+    Inserts draw fresh points uniformly from the workload domain with oids
+    above the existing ranges; deletes pick random currently-live oids.
+    The generator tracks liveness across batches so every produced stream
+    applies cleanly in order.
+    """
+    rng = random.Random(config.seed)
+    live: Dict[str, Dict[int, Point]] = {
+        "P": dict(enumerate(workload.points_p)),
+        "Q": dict(enumerate(workload.points_q)),
+    }
+    taken = {
+        side: {(p.x, p.y) for p in points.values()} for side, points in live.items()
+    }
+    next_oid = {side: max(live[side], default=-1) + 1 for side in ("P", "Q")}
+    sides = ("P", "Q") if config.sides == "both" else (config.sides,)
+    domain = workload.domain
+    batches: List[UpdateBatch] = []
+    for _ in range(config.batches):
+        updates: List[Update] = []
+        batch_deleted: Dict[str, set] = {"P": set(), "Q": set()}
+        batch_inserted: Dict[str, set] = {"P": set(), "Q": set()}
+        for _ in range(config.batch_size):
+            side = rng.choice(sides)
+            # A batch must not delete what it inserted (or deleted) itself:
+            # batches are validated as atomic groups of distinct operations.
+            deletable = [
+                oid
+                for oid in live[side]
+                if oid not in batch_deleted[side] and oid not in batch_inserted[side]
+            ]
+            can_delete = len(live[side]) > config.min_side_size and deletable
+            if rng.random() < config.insert_fraction or not can_delete:
+                while True:
+                    point = Point(
+                        round(rng.uniform(domain.xmin, domain.xmax), 4),
+                        round(rng.uniform(domain.ymin, domain.ymax), 4),
+                    )
+                    if (point.x, point.y) not in taken[side]:
+                        break
+                oid = next_oid[side]
+                next_oid[side] += 1
+                live[side][oid] = point
+                taken[side].add((point.x, point.y))
+                batch_inserted[side].add(oid)
+                updates.append(Update("insert", side, oid, point))
+            else:
+                oid = rng.choice(sorted(deletable))
+                point = live[side].pop(oid)
+                taken[side].discard((point.x, point.y))
+                batch_deleted[side].add(oid)
+                updates.append(Update("delete", side, oid, point))
+        batches.append(UpdateBatch(updates))
+    return batches
 
 
 def build_workload(

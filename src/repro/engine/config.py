@@ -27,6 +27,10 @@ POOLS = ("auto", "fork", "inline")
 #: :attr:`EngineConfig.reuse_handoff`.
 HANDOFF_MODES = ("auto", "always", "never")
 
+#: Candidate-discovery strategies of the dynamic delta join
+#: (:attr:`EngineConfig.delta_candidates`).
+DELTA_CANDIDATES = ("filter", "scan")
+
 
 @dataclass(frozen=True)
 class EngineConfig:
@@ -79,6 +83,13 @@ class EngineConfig:
         temporary file).  Like ``storage``, a concrete value is verified
         against the trees' page store at run time; the workload builders
         use it to place the store.
+    delta_candidates:
+        How a :class:`~repro.dynamic.DynamicJoinSession` finds the
+        candidate partners of a dirty cell during incremental maintenance:
+        ``"filter"`` (default) probes the opposite source tree with the
+        paper's ConditionalFilter, ``"scan"`` MBR-scans the maintained
+        opposite diagram (an independent path the differential tests use
+        to cross-check the filter).
     """
 
     executor: str = "serial"
@@ -91,6 +102,7 @@ class EngineConfig:
     domain: Optional[Rect] = None
     storage: Optional[str] = None
     storage_path: Optional[str] = None
+    delta_candidates: str = "filter"
 
     def __post_init__(self) -> None:
         if self.executor not in EXECUTORS:
@@ -110,6 +122,11 @@ class EngineConfig:
             raise ValueError(
                 f"unknown storage backend {self.storage!r}; "
                 f"expected one of {STORAGE_BACKENDS}"
+            )
+        if self.delta_candidates not in DELTA_CANDIDATES:
+            raise ValueError(
+                f"unknown delta_candidates {self.delta_candidates!r}; "
+                f"expected one of {DELTA_CANDIDATES}"
             )
 
     def replace(self, **overrides) -> "EngineConfig":

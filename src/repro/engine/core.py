@@ -38,6 +38,8 @@ class JoinEngine:
     def __init__(self, algorithms: Optional[List[JoinAlgorithm]] = None):
         stock = algorithms if algorithms is not None else default_algorithms()
         self._algorithms: Dict[str, JoinAlgorithm] = {a.name: a for a in stock}
+        #: The currently open dynamic session (see :meth:`open_dynamic`).
+        self._session = None
 
     def algorithm_names(self) -> List[str]:
         """The registered algorithm identifiers, sorted."""
@@ -136,6 +138,58 @@ class JoinEngine:
             cell_stats=ctx.cell_stats,
             filter_stats=ctx.filter_stats,
         )
+
+    # ------------------------------------------------------------------
+    # dynamic workloads
+    # ------------------------------------------------------------------
+    def open_dynamic(
+        self,
+        tree_p: RTree,
+        tree_q: RTree,
+        config: Optional[EngineConfig] = None,
+        **overrides,
+    ):
+        """Open a :class:`~repro.dynamic.DynamicJoinSession` on two trees.
+
+        The session materialises both Voronoi diagrams, derives the current
+        pair set, and then absorbs insert/delete batches incrementally
+        (:meth:`apply_updates`).  ``config``/``overrides`` follow the same
+        semantics as :meth:`run`; the session requires the serial executor.
+
+        The engine keeps the session open (and its trees and diagrams
+        alive) until the next :meth:`open_dynamic` or an explicit
+        :meth:`close_dynamic` — on the shared :func:`default_engine` only
+        one session is current at a time (latest wins), so a caller
+        juggling several sessions should call ``session.apply_updates`` on
+        the objects directly.
+        """
+        from repro.dynamic.maintenance import DynamicJoinSession
+
+        effective = self._effective_config(config, overrides)
+        session = DynamicJoinSession(
+            tree_p, tree_q, domain=effective.domain, config=effective
+        )
+        self._session = session
+        return session
+
+    def apply_updates(self, batch):
+        """Apply an update batch to the engine's open dynamic session.
+
+        Returns the :class:`~repro.dynamic.PairDelta` of the batch.  A
+        session must have been opened with :meth:`open_dynamic` (and not
+        yet replaced or closed); see there for the single-session caveat.
+        """
+        if self._session is None:
+            raise ValueError(
+                "no dynamic session is open; call "
+                "engine.open_dynamic(tree_p, tree_q) before apply_updates"
+            )
+        return self._session.apply_updates(batch)
+
+    def close_dynamic(self) -> None:
+        """Forget the open dynamic session (its resources become free to
+        collect once the caller drops its own reference)."""
+        self._session = None
 
     # ------------------------------------------------------------------
     def _resolve(self, algorithm: Union[str, JoinAlgorithm]) -> JoinAlgorithm:

@@ -8,6 +8,10 @@ metric of all experiments in the paper.
 The class supports the operations the CIJ algorithms need:
 
 * incremental insertion (to build the source point trees ``R_P`` / ``R_Q``),
+* incremental deletion with Guttman's condense-tree (underflowing nodes are
+  dissolved and their entries reinserted; ancestor MBRs are tightened all
+  the way to the root), which is what the dynamic-workload maintenance
+  layer (:mod:`repro.dynamic`) uses to keep the source trees current,
 * rectangle range search (PM-CIJ probes ``R'_P`` with batch range queries),
 * depth-first and Hilbert-ordered leaf iteration (Algorithms 3, 4 and 6
   visit the leaves of a source tree in Hilbert order of their centroids),
@@ -136,6 +140,90 @@ class RTree:
             self.insert_entry(entry)
 
     # ------------------------------------------------------------------
+    # deletion (condense-tree)
+    # ------------------------------------------------------------------
+    def delete_point(self, oid: int, point: Point) -> bool:
+        """Delete the data point ``(oid, point)``; returns ``False`` if absent."""
+        return self.delete_entry(oid, Rect.from_point(point))
+
+    def delete_entry(self, oid: int, mbr: Rect) -> bool:
+        """Delete the leaf entry matching ``oid`` and ``mbr`` exactly.
+
+        Guttman's condense-tree: the entry is removed from its leaf, every
+        ancestor MBR is tightened to exactly cover its child again, nodes
+        that underflow below the minimum fill are dissolved (their pages
+        freed) and their leaf entries reinserted, and a root left with a
+        single child is replaced by that child.  Returns whether a matching
+        entry was found.
+        """
+        if self.root_page is None:
+            return False
+        orphans: List[LeafEntry] = []
+        if not self._delete_recursive(self.root_page, oid, mbr, orphans):
+            return False
+        self.size -= 1
+        self._shrink_root()
+        for entry in orphans:
+            # Orphans were already counted in ``size``; reinsertion goes
+            # through the one true insert path and compensates the bump.
+            self.insert_entry(entry)
+            self.size -= 1
+        return True
+
+    def _delete_recursive(
+        self, page_id: int, oid: int, mbr: Rect, orphans: List[LeafEntry]
+    ) -> bool:
+        """Remove the entry from the subtree at ``page_id``; condense upward."""
+        node = self.peek_node(page_id)
+        if node.is_leaf:
+            for i, entry in enumerate(node.entries):
+                if entry.oid == oid and entry.mbr == mbr:
+                    del node.entries[i]
+                    self.disk.write(page_id, node)
+                    return True
+            return False
+        for branch in node.entries:
+            if not branch.mbr.contains_rect(mbr):
+                continue
+            if not self._delete_recursive(branch.child_page, oid, mbr, orphans):
+                continue
+            child = self.peek_node(branch.child_page)
+            if len(child.entries) < self._min_fill(child):
+                node.entries.remove(branch)
+                self._dissolve_subtree(branch.child_page, orphans)
+            else:
+                branch.mbr = child.mbr()
+            self.disk.write(page_id, node)
+            return True
+        return False
+
+    def _dissolve_subtree(self, page_id: int, orphans: List[LeafEntry]) -> None:
+        """Free every page of a subtree, collecting its leaf entries."""
+        node = self.peek_node(page_id)
+        if node.is_leaf:
+            orphans.extend(node.entries)
+        else:
+            for entry in node.entries:
+                self._dissolve_subtree(entry.child_page, orphans)
+        self.disk.free(page_id)
+
+    def _shrink_root(self) -> None:
+        """Collapse degenerate roots left behind by the condense pass."""
+        while self.root_page is not None:
+            root = self.peek_node(self.root_page)
+            if not root.entries:
+                self.disk.free(self.root_page)
+                self.root_page = None
+                self.height = 0
+                return
+            if root.is_leaf or len(root.entries) > 1:
+                return
+            child_page = root.entries[0].child_page
+            self.disk.free(self.root_page)
+            self.root_page = child_page
+            self.height -= 1
+
+    # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
     def range_search(self, region: Rect) -> List[LeafEntry]:
@@ -245,35 +333,73 @@ class RTree:
                 stack.extend(e.child_page for e in node.entries)
         return count
 
-    def check_invariants(self) -> None:
+    def check_invariants(self, enforce_min_fill: bool = False) -> None:
         """Raise ``AssertionError`` if structural invariants are violated.
 
-        Checks that every non-leaf entry's MBR exactly covers its child
-        node, that leaf levels are consistent, and that no node except the
-        root underflows below one entry.  Used by the test-suite.
+        Always checked, after any insert/delete stream:
+
+        * every branch entry's MBR is *exactly* the MBR of its child node
+          (not merely a superset — deletion must tighten ancestors),
+        * node levels decrease by one towards the leaves and all leaf
+          entries sit at the same depth,
+        * fanout stays within bounds: no node exceeds its capacity (or, for
+          multi-entry leaves, the page size) and no non-root node is empty,
+        * ``size`` equals the number of stored leaf entries.
+
+        ``enforce_min_fill`` additionally asserts Guttman's lower fanout
+        bound (the quadratic split's ``2/5`` minimum fill) for every
+        non-root node.  That bound holds for trees grown by insertion and
+        maintained by :meth:`delete_entry`'s condense pass, but not for
+        bulk-loaded trees, whose trailing page per level may be underfull
+        by construction.
         """
         if self.root_page is None:
+            assert self.size == 0, "an empty tree must report size 0"
+            assert self.height == 0, "an empty tree must report height 0"
             return
         expected_leaf_depth = self.height - 1
+        leaf_entries = 0
 
         def _recurse(page_id: int, depth: int) -> None:
+            nonlocal leaf_entries
             node = self.peek_node(page_id)
-            assert node.entries, "non-root node must not be empty"
+            is_root = page_id == self.root_page
+            assert node.entries, "a stored node must not be empty"
+            assert len(node.entries) <= self._capacity(node) and (
+                not node.is_leaf
+                or len(node.entries) == 1
+                or node.byte_size() <= self.page_size
+            ), "node fanout must stay within capacity"
+            if enforce_min_fill and not is_root:
+                assert len(node.entries) >= self._min_fill(node), (
+                    "non-root node below the minimum fill"
+                )
+            assert node.level == expected_leaf_depth - depth, (
+                "node level must match its depth"
+            )
             if node.is_leaf:
                 assert depth == expected_leaf_depth, "leaves must share a common depth"
+                leaf_entries += len(node.entries)
                 return
             for entry in node.entries:
                 child = self.peek_node(entry.child_page)
-                assert entry.mbr.contains_rect(child.mbr()), "entry MBR must cover child"
+                assert entry.mbr == child.mbr(), (
+                    "branch entry MBR must exactly cover its child"
+                )
                 _recurse(entry.child_page, depth + 1)
 
         _recurse(self.root_page, 0)
+        assert leaf_entries == self.size, "size must count the stored leaf entries"
 
     # ------------------------------------------------------------------
     # internals: insertion
     # ------------------------------------------------------------------
     def _capacity(self, node: Node) -> int:
         return self.leaf_capacity if node.is_leaf else self.branch_capacity
+
+    def _min_fill(self, node: Node) -> int:
+        """Guttman's lower fanout bound (shared by split and condense)."""
+        return max(1, self._capacity(node) * 2 // 5)
 
     def _insert_recursive(
         self, page_id: int, entry: LeafEntry, level_from_leaf: int
@@ -330,7 +456,7 @@ class RTree:
         mbr_a = entries[seed_a].mbr
         mbr_b = entries[seed_b].mbr
         remaining = [e for i, e in enumerate(entries) if i not in (seed_a, seed_b)]
-        min_fill = max(1, self._capacity(node) * 2 // 5)
+        min_fill = self._min_fill(node)
         while remaining:
             if len(group_a) + len(remaining) <= min_fill:
                 group_a.extend(remaining)

@@ -151,11 +151,18 @@ class DiskManager:
 
         The page id is also evicted from the buffer and recycled for later
         allocations — a stale buffer entry would otherwise let a recycled
-        id produce a phantom hit for a page that was never read.
+        id produce a phantom hit for a page that was never read.  The
+        decoded-payload cache entry is popped directly as a belt-and-braces
+        guard: today the buffer's eviction hook already covers it (the
+        cache only holds buffer-resident pages), but delete-heavy streams
+        recycle ids aggressively and a future path that breaks the
+        cache⊆buffer invariant (e.g. around ``restore_buffer_state``) must
+        not let a recycled id resurrect the freed page's decode.
         """
         if self.store.free_page(page_id):
             self._free_ids.append(page_id)
         self.buffer.invalidate(page_id)
+        self._cache.pop(page_id, None)
 
     # ------------------------------------------------------------------
     # introspection and control

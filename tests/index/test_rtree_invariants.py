@@ -1,0 +1,190 @@
+"""Structural invariants of the R-tree under insert/delete streams.
+
+The checker itself lives on the tree (:meth:`RTree.check_invariants`) so
+the dynamic property tests can call it after every update batch; this
+module drives it through targeted streams: grow-only, delete-only,
+interleaved, delete-to-empty and bulk-loaded-then-condensed, plus direct
+detection tests proving the checker actually rejects corrupted trees.
+"""
+
+import random
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.index.bulkload import bulk_load_points
+from repro.index.rtree import RTree
+from repro.storage.disk import DiskManager
+
+
+def _random_points(n, seed):
+    rng = random.Random(seed)
+    return {
+        oid: Point(round(rng.uniform(0, 10_000), 3), round(rng.uniform(0, 10_000), 3))
+        for oid in range(n)
+    }
+
+
+def _stored(tree):
+    return {(e.oid, e.payload.x, e.payload.y) for e in tree.all_leaf_entries()}
+
+
+@pytest.fixture
+def small_tree():
+    """An insertion-grown tree with a small page so it has several levels."""
+    disk = DiskManager(buffer_pages=8)
+    tree = RTree(disk, "RP", page_size=256)
+    points = _random_points(200, seed=11)
+    for oid, point in points.items():
+        tree.insert_point(oid, point)
+    return tree, points
+
+
+class TestInsertStreams:
+    def test_grow_only_stream_keeps_invariants(self, small_tree):
+        tree, points = small_tree
+        tree.check_invariants(enforce_min_fill=True)
+        assert len(tree) == len(points)
+        assert _stored(tree) == {(o, p.x, p.y) for o, p in points.items()}
+
+    def test_invariants_hold_after_every_single_insert(self):
+        disk = DiskManager()
+        tree = RTree(disk, "RP", page_size=256)
+        for oid, point in _random_points(80, seed=3).items():
+            tree.insert_point(oid, point)
+            tree.check_invariants(enforce_min_fill=True)
+
+
+class TestDeleteStreams:
+    def test_delete_only_stream_keeps_invariants(self, small_tree):
+        tree, points = small_tree
+        rng = random.Random(5)
+        order = sorted(points)
+        rng.shuffle(order)
+        for oid in order[:150]:
+            assert tree.delete_point(oid, points.pop(oid))
+            tree.check_invariants(enforce_min_fill=True)
+        assert _stored(tree) == {(o, p.x, p.y) for o, p in points.items()}
+
+    def test_delete_to_empty_then_regrow(self, small_tree):
+        tree, points = small_tree
+        disk = tree.disk
+        for oid, point in sorted(points.items()):
+            assert tree.delete_point(oid, point)
+        assert tree.is_empty() and len(tree) == 0
+        assert disk.page_count("RP") == 0  # every page was freed
+        tree.check_invariants()
+        tree.insert_point(1, Point(5.0, 5.0))
+        tree.check_invariants(enforce_min_fill=True)
+        assert len(tree) == 1
+
+    def test_delete_missing_entry_returns_false(self, small_tree):
+        tree, points = small_tree
+        before = _stored(tree)
+        assert not tree.delete_point(10_000, Point(1.0, 1.0))
+        assert not tree.delete_point(0, Point(-1.0, -1.0))  # wrong location
+        assert _stored(tree) == before
+        tree.check_invariants(enforce_min_fill=True)
+
+    def test_interleaved_stream_keeps_invariants(self):
+        disk = DiskManager(buffer_pages=8)
+        tree = RTree(disk, "RP", page_size=256)
+        rng = random.Random(17)
+        live = {}
+        next_oid = 0
+        for step in range(500):
+            if live and rng.random() < 0.45:
+                oid = rng.choice(sorted(live))
+                assert tree.delete_point(oid, live.pop(oid))
+            else:
+                point = Point(
+                    round(rng.uniform(0, 10_000), 3), round(rng.uniform(0, 10_000), 3)
+                )
+                tree.insert_point(next_oid, point)
+                live[next_oid] = point
+                next_oid += 1
+            if step % 25 == 0:
+                tree.check_invariants(enforce_min_fill=True)
+        tree.check_invariants(enforce_min_fill=True)
+        assert len(tree) == len(live)
+        assert _stored(tree) == {(o, p.x, p.y) for o, p in live.items()}
+
+    def test_bulk_loaded_tree_survives_deletes(self):
+        """Condense works on packed trees too (min fill not enforced: the
+        trailing page per level may be underfull by construction)."""
+        disk = DiskManager()
+        points = _random_points(150, seed=23)
+        tree = bulk_load_points(
+            disk, "RP", list(points.values()), oids=list(points), page_size=256
+        )
+        tree.check_invariants()
+        rng = random.Random(29)
+        order = sorted(points)
+        rng.shuffle(order)
+        for oid in order[:120]:
+            assert tree.delete_point(oid, points.pop(oid))
+            tree.check_invariants()
+        assert _stored(tree) == {(o, p.x, p.y) for o, p in points.items()}
+
+
+class TestCheckerDetectsCorruption:
+    """The checker must fail on trees that violate what it claims to check."""
+
+    def test_detects_loose_parent_mbr(self, small_tree):
+        tree, _ = small_tree
+        root = tree.peek_node(tree.root_page)
+        entry = root.entries[0]
+        entry.mbr = entry.mbr.expanded(1.0)  # superset, but not exact
+        tree.disk.write(tree.root_page, root)
+        with pytest.raises(AssertionError):
+            tree.check_invariants()
+
+    def test_detects_wrong_size(self, small_tree):
+        tree, _ = small_tree
+        tree.size += 1
+        with pytest.raises(AssertionError):
+            tree.check_invariants()
+
+    def test_detects_overflowing_node(self, small_tree):
+        tree, _ = small_tree
+        stack = [tree.root_page]
+        leaf_page = None
+        while stack:
+            page = stack.pop()
+            node = tree.peek_node(page)
+            if node.is_leaf:
+                leaf_page = page
+                break
+            stack.extend(e.child_page for e in node.entries)
+        node = tree.peek_node(leaf_page)
+        filler = [
+            node.entries[0].__class__(
+                90_000 + i, Rect.from_point(Point(i, i)), Point(i, i)
+            )
+            for i in range(tree.leaf_capacity + 1)
+        ]
+        node.entries.extend(filler)
+        tree.disk.write(leaf_page, node)
+        with pytest.raises(AssertionError):
+            tree.check_invariants()
+
+    def test_detects_min_fill_violation(self, small_tree):
+        tree, points = small_tree
+        # Manually orphan entries from a leaf until it underflows, without
+        # running the condense pass.
+        stack = [tree.root_page]
+        while stack:
+            page = stack.pop()
+            node = tree.peek_node(page)
+            if node.is_leaf:
+                if page == tree.root_page:
+                    pytest.skip("single-node tree cannot underflow")
+                removed = len(node.entries) - 1
+                node.entries[:] = node.entries[:1]
+                tree.disk.write(page, node)
+                tree.size -= removed
+                break
+            stack.extend(e.child_page for e in node.entries)
+        with pytest.raises(AssertionError):
+            tree.check_invariants(enforce_min_fill=True)

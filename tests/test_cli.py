@@ -5,6 +5,20 @@ import pytest
 from repro.cli import build_parser, main
 
 
+@pytest.fixture
+def stream_file(tmp_path):
+    """A small valid update stream: one mixed batch, then a delete batch."""
+    path = tmp_path / "stream.txt"
+    path.write_text(
+        "insert P 900 123.5 456.5\n"
+        "insert Q 901 7000.0 2500.0\n"
+        "---\n"
+        "delete P 900\n",
+        encoding="utf-8",
+    )
+    return str(path)
+
+
 class TestParser:
     def test_requires_a_command(self):
         with pytest.raises(SystemExit):
@@ -88,3 +102,63 @@ class TestWorkersValidation:
             "--executor", "sharded", "--workers", "3",
         ]) == 0
         assert "result pairs" in capsys.readouterr().out
+
+
+class TestUpdateStreams:
+    """--updates drives incremental maintenance; contradictory executor
+    combinations and malformed stream files must fail with clear messages."""
+
+    def test_updates_applies_stream_and_prints_deltas(self, capsys, stream_file):
+        assert main([
+            "join", "--n-p", "40", "--n-q", "30", "--updates", stream_file,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "initial pairs" in out
+        assert "batch  1" in out and "batch  2" in out
+        assert "cells invalidated" in out
+        assert "final pairs" in out and "update totals" in out
+
+    def test_updates_with_sharded_executor_rejected(self, capsys, stream_file):
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "join", "--updates", stream_file,
+                "--executor", "sharded", "--workers", "2",
+            ])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--updates requires --executor serial" in err
+
+    def test_updates_with_reuse_handoff_rejected(self, capsys, stream_file):
+        for handoff in ("auto", "always", "never"):
+            with pytest.raises(SystemExit) as excinfo:
+                main(["join", "--updates", stream_file, "--reuse-handoff", handoff])
+            assert excinfo.value.code == 2
+            err = capsys.readouterr().err
+            assert "--reuse-handoff" in err and "--updates" in err
+
+    def test_reuse_handoff_without_updates_still_allowed(self, capsys):
+        assert main([
+            "join", "--n-p", "30", "--n-q", "20",
+            "--executor", "sharded", "--workers", "2", "--reuse-handoff", "always",
+        ]) == 0
+        assert "result pairs" in capsys.readouterr().out
+
+    def test_malformed_stream_reports_line_number(self, capsys, tmp_path):
+        bad = tmp_path / "bad.txt"
+        bad.write_text("insert P 1 2.0 3.0\nfrobnicate Q 7\n", encoding="utf-8")
+        assert main(["join", "--n-p", "30", "--n-q", "20", "--updates", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "update stream line 2" in err
+        assert "frobnicate" in err
+
+    def test_missing_stream_file_reports_clearly(self, capsys, tmp_path):
+        missing = str(tmp_path / "nope.txt")
+        assert main(["join", "--n-p", "30", "--n-q", "20", "--updates", missing]) == 2
+        assert "cannot read --updates file" in capsys.readouterr().err
+
+    def test_inapplicable_update_reports_its_batch(self, capsys, tmp_path):
+        path = tmp_path / "stream.txt"
+        path.write_text("delete P 99999\n", encoding="utf-8")
+        assert main(["join", "--n-p", "30", "--n-q", "20", "--updates", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "update batch 1" in err and "no such point" in err
