@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""Compare benchmark JSON results against the committed baselines.
+
+Usage::
+
+    python benchmarks/bench_compare.py                 # gate: exit 1 on drift
+    python benchmarks/bench_compare.py --tolerance 0.10
+    python benchmarks/bench_compare.py --update        # adopt current results
+
+The benchmark suite writes one machine-readable document per artefact to
+``benchmarks/results/*.json`` (see ``benchmarks/conftest.py``); this script
+diffs their *deterministic* numbers against ``benchmarks/baselines/*.json``
+and fails when any counter drifts by more than the tolerance (10% by
+default) in either direction — a page-access count that *dropped* 30% is
+as worth a look as one that grew, and an intentional improvement is adopted
+by re-running with ``--update`` and committing the new baselines.
+
+What is compared:
+
+* ``kind: "table"`` documents — every numeric cell of every row, except
+  columns whose name marks them as timing (``cpu``, ``time``, ``wall``,
+  ``second``, ``(s)``, ``(ms)``): wall clocks are machine-dependent and
+  never gate.
+* ``kind: "counters"`` documents — every value of the ``counters``
+  mapping; the free-form ``info`` mapping is ignored.
+
+Booleans must match exactly; strings (labels) must match exactly; a
+baseline row/key missing from the results (or vice versa) is a failure.
+Results produced at a different ``REPRO_BENCH_SCALE`` than their baseline
+are skipped with a warning instead of producing nonsense diffs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+BENCH_DIR = Path(__file__).parent
+RESULTS_DIR = BENCH_DIR / "results"
+BASELINES_DIR = BENCH_DIR / "baselines"
+
+#: Column-name fragments marking machine-dependent timing columns.
+TIMING_MARKERS = ("cpu", "time", "wall", "second", "(s)", "(ms)")
+
+DEFAULT_TOLERANCE = 0.10
+
+
+def is_timing_column(column: str) -> bool:
+    name = column.lower()
+    return any(marker in name for marker in TIMING_MARKERS)
+
+
+def iter_values(document: dict) -> Iterator[Tuple[str, object]]:
+    """Yield ``(label, value)`` for every gated value of a document."""
+    if document.get("kind") == "counters":
+        for key in sorted(document.get("counters", {})):
+            yield f"counters[{key}]", document["counters"][key]
+        return
+    columns = document.get("columns", [])
+    gated = [i for i, column in enumerate(columns) if not is_timing_column(column)]
+    for row_index, row in enumerate(document.get("rows", [])):
+        for i in gated:
+            if i < len(row):
+                yield f"row {row_index} [{columns[i]}]", row[i]
+
+
+def compare_values(label: str, base, current, tolerance: float) -> List[str]:
+    """The drift messages (empty = within tolerance) for one value pair."""
+    if isinstance(base, bool) or isinstance(current, bool):
+        if base is not current:
+            return [f"{label}: expected {base!r}, got {current!r}"]
+        return []
+    if isinstance(base, (int, float)) and isinstance(current, (int, float)):
+        allowed = tolerance * max(abs(base), 1.0)
+        if abs(current - base) > allowed:
+            direction = "regressed" if current > base else "dropped"
+            return [
+                f"{label}: {direction} {base!r} -> {current!r} "
+                f"(|Δ| {abs(current - base):.4g} > allowed {allowed:.4g})"
+            ]
+        return []
+    if base != current:
+        return [f"{label}: expected {base!r}, got {current!r}"]
+    return []
+
+
+def compare_documents(base: dict, current: dict, tolerance: float) -> List[str]:
+    problems: List[str] = []
+    base_values = dict(iter_values(base))
+    current_values = dict(iter_values(current))
+    for label in base_values:
+        if label not in current_values:
+            problems.append(f"{label}: missing from current results")
+            continue
+        problems.extend(
+            compare_values(label, base_values[label], current_values[label], tolerance)
+        )
+    for label in current_values:
+        if label not in base_values:
+            problems.append(f"{label}: not in baseline (re-baseline with --update)")
+    return problems
+
+
+def load(path: Path) -> dict:
+    with path.open(encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def update_baselines() -> int:
+    results = sorted(RESULTS_DIR.glob("*.json"))
+    if not results:
+        print(f"no results under {RESULTS_DIR}; run the benchmark suite first")
+        return 1
+    BASELINES_DIR.mkdir(parents=True, exist_ok=True)
+    for path in results:
+        shutil.copy(path, BASELINES_DIR / path.name)
+        print(f"baselined {path.name}")
+    return 0
+
+
+def run_gate(tolerance: float) -> int:
+    baselines = sorted(BASELINES_DIR.glob("*.json"))
+    if not baselines:
+        print(f"no baselines under {BASELINES_DIR}; nothing to gate")
+        return 0
+    failures = 0
+    skipped = 0
+    for baseline_path in baselines:
+        result_path = RESULTS_DIR / baseline_path.name
+        name = baseline_path.stem
+        if not result_path.exists():
+            print(f"FAIL {name}: no result produced (expected {result_path})")
+            failures += 1
+            continue
+        base, current = load(baseline_path), load(result_path)
+        if base.get("scale") != current.get("scale"):
+            print(
+                f"skip {name}: scale {current.get('scale')!r} != baseline "
+                f"{base.get('scale')!r} (set REPRO_BENCH_SCALE={base.get('scale')})"
+            )
+            skipped += 1
+            continue
+        problems = compare_documents(base, current, tolerance)
+        if problems:
+            print(f"FAIL {name}:")
+            for problem in problems:
+                print(f"  - {problem}")
+            failures += 1
+        else:
+            print(f"ok   {name}")
+    total = len(baselines)
+    print(
+        f"\n{total - failures - skipped}/{total} within ±{tolerance:.0%}"
+        + (f", {skipped} skipped (scale mismatch)" if skipped else "")
+    )
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed relative drift per counter (default 0.10)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="copy the current results over the committed baselines",
+    )
+    args = parser.parse_args(argv)
+    if args.update:
+        return update_baselines()
+    return run_gate(args.tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

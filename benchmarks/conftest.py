@@ -7,6 +7,23 @@ the paper makes about it.  The ``benchmark`` fixture additionally times a
 representative core operation so ``pytest-benchmark`` statistics are
 collected for each artefact.
 
+Besides the human-readable ``.txt`` table, every artefact is recorded as a
+machine-readable ``.json`` document (same basename) so CI can diff the
+deterministic counters against the committed baselines in
+``benchmarks/baselines/`` — see ``benchmarks/bench_compare.py``.  Two JSON
+shapes exist:
+
+* ``kind: "table"`` — the rows/columns of an ``ExperimentResult``
+  (written automatically by the ``experiment_runner`` fixture);
+* ``kind: "counters"`` — a flat name→number mapping recorded explicitly by
+  a benchmark through the ``bench_record`` fixture, for artefacts that are
+  not experiment tables (sharded-executor recomputation counts, dynamic
+  update deltas, prefetch hit/stall series...).
+
+Only *deterministic* values belong in rows/counters; machine-dependent
+measurements (wall clocks, stall seconds) go into the free-form ``info``
+mapping, which the comparison script ignores.
+
 Scale is controlled by the ``REPRO_BENCH_SCALE`` environment variable
 (``tiny`` by default so the whole suite completes in a few minutes; use
 ``small`` or ``medium`` to approach the shapes reported in EXPERIMENTS.md).
@@ -14,6 +31,7 @@ Scale is controlled by the ``REPRO_BENCH_SCALE`` environment variable
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -40,6 +58,16 @@ def pytest_collection_modifyitems(items):
 BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "tiny")
 
 
+def write_result_json(name: str, document: dict) -> Path:
+    """Persist one machine-readable artefact under ``benchmarks/results/``."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path
+
+
 @pytest.fixture(scope="session")
 def bench_scale() -> str:
     """The scale name every benchmark should run its experiment at."""
@@ -48,7 +76,8 @@ def bench_scale() -> str:
 
 @pytest.fixture(scope="session")
 def experiment_runner():
-    """Run an experiment once per session and persist its rendered table."""
+    """Run an experiment once per session and persist its rendered table
+    (``.txt`` for humans, ``.json`` for the CI baseline gate)."""
     cache = {}
 
     def run(experiment_id: str):
@@ -57,9 +86,45 @@ def experiment_runner():
             RESULTS_DIR.mkdir(parents=True, exist_ok=True)
             path = RESULTS_DIR / f"{experiment_id}.txt"
             path.write_text(result.to_text() + "\n", encoding="utf-8")
+            write_result_json(
+                experiment_id,
+                {
+                    "name": experiment_id,
+                    "kind": "table",
+                    "scale": BENCH_SCALE,
+                    "title": result.title,
+                    "columns": result.columns,
+                    "rows": result.rows,
+                },
+            )
             print()
             print(result.to_text())
             cache[experiment_id] = result
         return cache[experiment_id]
 
     return run
+
+
+@pytest.fixture(scope="session")
+def bench_record():
+    """Record a non-table artefact's deterministic counters as JSON.
+
+    ``bench_record(name, counters, info=None)`` — ``counters`` values must
+    be reproducible run to run (operation counts, page accesses, hit
+    counts); put timings and other machine-dependent measurements into
+    ``info``, which the baseline comparison ignores.
+    """
+
+    def record(name: str, counters: dict, info: dict | None = None) -> Path:
+        return write_result_json(
+            name,
+            {
+                "name": name,
+                "kind": "counters",
+                "scale": BENCH_SCALE,
+                "counters": counters,
+                "info": info or {},
+            },
+        )
+
+    return record

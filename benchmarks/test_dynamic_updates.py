@@ -77,7 +77,7 @@ def _run_stream(batch_size: int):
     }
 
 
-def test_incremental_maintenance_beats_rebuild(benchmark):
+def test_incremental_maintenance_beats_rebuild(benchmark, bench_record):
     rows = [_run_stream(size) for size in BATCH_SIZES]
 
     lines = [
@@ -99,6 +99,16 @@ def test_incremental_maintenance_beats_rebuild(benchmark):
     (RESULTS_DIR / "dynamic_updates.txt").write_text(text + "\n", encoding="utf-8")
     print()
     print(text)
+
+    bench_record(
+        "dynamic_updates",
+        counters={
+            f"batch{row['batch_size']}_{key}": row[key]
+            for row in rows
+            for key in ("incremental_cells", "rebuild_cells", "delta_pairs")
+        },
+        info={f"batch{row['batch_size']}_wall_s": row["wall"] for row in rows},
+    )
 
     # Correctness is non-negotiable at every scale.
     assert all(row["matches_rebuild"] for row in rows)

@@ -56,7 +56,7 @@ def write_table(name: str, lines) -> None:
     print(text)
 
 
-def test_sharded_fm_parallel_join(benchmark):
+def test_sharded_fm_parallel_join(benchmark, bench_record):
     points_p = uniform_points(N_POINTS, seed=7)
     points_q = uniform_points(N_POINTS, seed=17)
 
@@ -76,6 +76,16 @@ def test_sharded_fm_parallel_join(benchmark):
             f"{'sharded':10s} {sharded_wall:8.2f} {sharded.stats.join_cpu_seconds:8.2f} "
             f"{len(sharded.pairs):8d} {sharded.stats.total_page_accesses:8d}",
         ],
+    )
+
+    bench_record(
+        "sharded_fm",
+        counters={
+            "pairs": len(sharded.pairs),
+            "serial_page_accesses": serial.stats.total_page_accesses,
+            "sharded_page_accesses": sharded.stats.total_page_accesses,
+        },
+        info={"serial_wall_s": serial_wall, "sharded_wall_s": sharded_wall},
     )
 
     # Determinism: the merged shard output is byte-identical to the serial
@@ -101,7 +111,7 @@ def test_sharded_fm_parallel_join(benchmark):
     )
 
 
-def test_nm_boundary_handoff_closes_work_gap(benchmark):
+def test_nm_boundary_handoff_closes_work_gap(benchmark, bench_record):
     points_p = uniform_points(N_POINTS, seed=8)
     points_q = uniform_points(N_POINTS, seed=18)
 
@@ -142,6 +152,17 @@ def test_nm_boundary_handoff_closes_work_gap(benchmark):
             row("no-handoff", independent),
             row("handoff", handoff),
         ],
+    )
+
+    bench_record(
+        "sharded_nm_handoff",
+        counters={
+            "pairs": len(serial.pairs),
+            "serial_cells_computed_p": serial.stats.cells_computed_p,
+            "no_handoff_cells_computed_p": independent.stats.cells_computed_p,
+            "handoff_cells_computed_p": handoff.stats.cells_computed_p,
+            "handoff_cells_reused_p": handoff.stats.cells_reused_p,
+        },
     )
 
     assert independent.pairs == handoff.pairs == serial.pairs

@@ -129,6 +129,38 @@ def main() -> None:
         print(f"bytes written to file : {io.bytes_written}")
     print()
 
+    print("=== Overlapped I/O: prefetching hides disk latency ===")
+    # With prefetch="next_batch" the engine issues the next leaf batch's
+    # candidate page reads (planned through an uncounted MBR descent)
+    # while the current batch computes its Voronoi cells, on the file
+    # backend's async reader thread.  A simulated 1 ms/page service time
+    # makes the effect visible: stalled time drops, the hidden remainder
+    # shows up as overlap.  Pairs and the paper's logical page accounting
+    # are byte-identical to the synchronous run above.
+    for mode in ("off", "next_batch"):
+        prefetch_workload = build_workload(
+            WorkloadConfig(storage="file", fetch_latency=0.001),
+            points_p=restaurants,
+            points_q=cinemas,
+        )
+        with prefetch_workload:
+            run = engine.run(
+                "nm",
+                prefetch_workload.tree_p,
+                prefetch_workload.tree_q,
+                domain=prefetch_workload.domain,
+                prefetch=mode,
+            )
+            io = run.storage
+            print(
+                f"prefetch={mode:10s} pairs={len(run.pairs)} "
+                f"pages={run.stats.total_page_accesses} "
+                f"issued={io.pages_prefetched} hits={io.prefetch_hits} "
+                f"stalled={io.stall_time * 1000:6.1f} ms "
+                f"overlapped={io.overlap_time * 1000:5.1f} ms"
+            )
+    print()
+
     print("=== Dynamic workloads: incremental updates to P and Q ===")
     # A DynamicJoinSession keeps the join answer current under insert/
     # delete streams: only cells whose nearest-neighbour set can change

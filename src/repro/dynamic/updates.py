@@ -31,7 +31,7 @@ stored point.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, fields
 from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.geometry.point import Point

@@ -17,6 +17,10 @@ merges pairs and statistics deterministically (see
 :mod:`repro.engine.executors` for the correctness argument).  A sharded
 NM-CIJ can additionally hand its REUSE buffer across shard boundaries
 (``EngineConfig.reuse_handoff``), restoring the serial cell-reuse chain.
+``EngineConfig.prefetch`` overlaps upcoming batches' (or shards') page
+reads with the current batch's Voronoi computation through the disk's
+async fetch pipeline (:mod:`repro.storage.prefetch`) without changing the
+emitted pairs or any logical counter.
 :func:`run_join` and :func:`default_engine` serve callers that do not need
 their own registry.
 """

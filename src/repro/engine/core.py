@@ -115,6 +115,13 @@ class JoinEngine:
             start_counters=disk.counters.snapshot(),
         )
 
+        if effective.prefetch != "off":
+            # Attach the overlapped-I/O pipeline for this run.  The
+            # scheduler accounts into the disk's lifetime stats; staged
+            # pages are drained (and charged as wasted) when the run ends,
+            # so one run's mispredictions can never leak into the next.
+            disk.enable_prefetch()
+
         # --- MAT phase -------------------------------------------------
         mat_start = time.perf_counter()
         algo.prepare(ctx)
@@ -127,7 +134,11 @@ class JoinEngine:
 
         # --- JOIN phase ------------------------------------------------
         join_start = time.perf_counter()
-        pairs = executor.execute(algo, ctx)
+        try:
+            pairs = executor.execute(algo, ctx)
+        finally:
+            if effective.prefetch != "off":
+                disk.drain_prefetch()
         stats.join_cpu_seconds = time.perf_counter() - join_start
         total_accesses = disk.counters.diff(ctx.start_counters).page_accesses
         stats.join_page_accesses = total_accesses - stats.mat_page_accesses
@@ -137,6 +148,7 @@ class JoinEngine:
             stats=stats,
             cell_stats=ctx.cell_stats,
             filter_stats=ctx.filter_stats,
+            storage=disk.storage_stats(),
         )
 
     # ------------------------------------------------------------------
@@ -166,6 +178,14 @@ class JoinEngine:
         from repro.dynamic.maintenance import DynamicJoinSession
 
         effective = self._effective_config(config, overrides)
+        if effective.prefetch != "off":
+            raise ValueError(
+                "dynamic sessions do not support prefetching: incremental "
+                "maintenance interleaves structural writes with its "
+                "BatchVoronoi reads, which would race the async fetch "
+                "pipeline; open the session with prefetch='off' (updates "
+                "can be applied after a prefetched static join completes)"
+            )
         session = DynamicJoinSession(
             tree_p, tree_q, domain=effective.domain, config=effective
         )

@@ -216,6 +216,13 @@ class ShardedExecutor:
     ) -> Tuple[List[ShardResult], bool]:
         """Run every chunk, preferring forked workers; returns (results, forked)."""
         handoff = self._handoff_enabled(algorithm)
+        if ctx.config.prefetch == "next_shard":
+            # Shard-boundary staging lives in this process; forked workers
+            # would never see it (the config rejects an explicit
+            # pool='fork'), so 'auto' resolves to the inline path, where
+            # the async reader thread genuinely overlaps the next shard's
+            # fetches with the current shard's computation.
+            return self._run_chunks_inline(algorithm, ctx, chunks, handoff), False
         if self.pool in ("auto", "fork") and len(chunks) > 1:
             pool = self._make_fork_pool(algorithm, ctx, chunks, handoff)
             if pool is not None:
@@ -253,11 +260,20 @@ class ShardedExecutor:
         """
         isolate = len(chunks) > 1
         dispatch_state = ctx.disk.buffer_state() if isolate else None
+        prefetcher = (
+            ctx.disk.prefetcher if ctx.config.prefetch == "next_shard" else None
+        )
         results = []
         carry: Optional[object] = None
         for index, chunk in enumerate(chunks):
             if dispatch_state is not None and index > 0:
                 ctx.disk.restore_buffer_state(dispatch_state)
+            if prefetcher is not None and index + 1 < len(chunks):
+                # Stage the next shard's opening pages now: the backend's
+                # worker thread fetches them while this shard computes.
+                pages = algorithm.prefetch_pages(ctx, chunks[index + 1])
+                if pages:
+                    prefetcher.request(pages)
             result = _execute_shard(
                 algorithm, ctx, chunk, index, carry=carry if handoff else None
             )

@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING, List, Optional, Set, Tuple
 
 if TYPE_CHECKING:  # imported lazily to keep the result record dependency-free
     from repro.join.conditional_filter import FilterStats
+    from repro.storage.backends import StorageStats
     from repro.voronoi.single import CellComputationStats
 
 
@@ -105,6 +106,10 @@ class CIJResult:
     stats: JoinStats
     cell_stats: Optional["CellComputationStats"] = None
     filter_stats: Optional["FilterStats"] = None
+    #: Physical byte movement and prefetch stall/overlap accounting of the
+    #: run's disk, snapshotted when the engine run ends (lifetime values of
+    #: the workload's disk manager, not a per-run delta).
+    storage: Optional["StorageStats"] = None
 
     def pair_set(self) -> Set[Tuple[int, int]]:
         """The result as a set (order-insensitive comparison in tests)."""

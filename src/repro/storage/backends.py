@@ -29,7 +29,7 @@ import tempfile
 import weakref
 import zlib
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional, Protocol, Tuple
+from typing import Any, Dict, List, Optional, Protocol, Tuple
 
 #: Backend identifiers accepted by :func:`create_page_store`.
 STORAGE_BACKENDS = ("memory", "file", "sqlite")
@@ -87,6 +87,15 @@ class StorageStats:
     ``IOCounters`` counts the paper's *logical* page accesses; these fields
     report how many real bytes the backend moved for them (always zero for
     the in-memory backend, which never serializes anything).
+
+    The prefetch fields describe the asynchronous fetch pipeline
+    (:mod:`repro.storage.prefetch`): pages issued ahead of demand, how many
+    of them a later read actually consumed or never did, and the
+    decomposition of physical fetch latency into time the join *stalled*
+    waiting for the backend versus service time *overlapped* with
+    computation.  ``bytes_prefetched`` are the bytes the async reader
+    moved; they are kept out of ``bytes_read`` so the synchronous-miss
+    traffic stays comparable across prefetch modes.
     """
 
     backend: str = "memory"
@@ -94,7 +103,102 @@ class StorageStats:
     bytes_read: int = 0
     bytes_written: int = 0
     file_bytes: int = 0
+    bytes_prefetched: int = 0
+    pages_prefetched: int = 0
+    prefetch_hits: int = 0
+    prefetch_wasted: int = 0
+    sync_fetches: int = 0
+    stall_time: float = 0.0
+    overlap_time: float = 0.0
     extra: Dict[str, int] = field(default_factory=dict)
+
+
+class PageFetch:
+    """Future-like handle for one asynchronous batch of page reads.
+
+    Returned by :meth:`PageStore.fetch_async`.  ``result`` blocks until the
+    batch completes and returns the pages that could be read; pages missing
+    from the mapping (freed meanwhile, or a failed backend read) are simply
+    absent — the consumer falls back to a synchronous read, which surfaces
+    any genuine error.
+    """
+
+    def done(self) -> bool:
+        raise NotImplementedError
+
+    def result(self) -> Dict[int, "PageRecord"]:
+        raise NotImplementedError
+
+
+class CompletedPageFetch(PageFetch):
+    """An already-complete fetch (the in-memory backend reads instantly)."""
+
+    def __init__(self, records: Dict[int, "PageRecord"]):
+        self._records = records
+
+    def done(self) -> bool:
+        return True
+
+    def result(self) -> Dict[int, "PageRecord"]:
+        return self._records
+
+
+class ThreadedPageFetch(PageFetch):
+    """A fetch running on a backend's prefetch worker thread."""
+
+    def __init__(self, future):
+        self._future = future
+
+    def done(self) -> bool:
+        return self._future.done()
+
+    def result(self) -> Dict[int, "PageRecord"]:
+        try:
+            return self._future.result()
+        except Exception:
+            # Prefetching is advisory: a failed async batch yields nothing
+            # and the consumer's synchronous fallback reports the real error.
+            return {}
+
+
+class _AsyncReader:
+    """A single-worker thread pool reading page batches for one store.
+
+    One worker keeps the byte accounting race-free (only the worker thread
+    writes the prefetch byte counter) and preserves issue order.  The pool
+    is created lazily on the first async fetch and must be dropped both on
+    ``close`` and after ``fork`` (a child process inherits the pool object
+    but not its thread).
+    """
+
+    def __init__(self, read_one):
+        self._read_one = read_one
+        self._pool = None
+
+    def submit(self, page_ids) -> ThreadedPageFetch:
+        if self._pool is None:
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._pool = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-prefetch"
+            )
+        return ThreadedPageFetch(self._pool.submit(self._read_batch, list(page_ids)))
+
+    def _read_batch(self, page_ids) -> Dict[int, "PageRecord"]:
+        records: Dict[int, PageRecord] = {}
+        for page_id in page_ids:
+            try:
+                records[page_id] = self._read_one(page_id)
+            except KeyError:
+                continue  # freed between planning and fetching
+        return records
+
+    def close(self) -> None:
+        if self._pool is not None:
+            # Wait for the in-flight batch (they are small) so the store's
+            # handles are guaranteed unused when the caller closes them.
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
 
 
 class PageStore(Protocol):
@@ -118,6 +222,17 @@ class PageStore(Protocol):
         ``count=False`` keeps the read out of :meth:`stats` — used for
         maintenance/oracle access so ``bytes_read`` reports only the bytes
         that buffer misses pulled.
+        """
+        ...
+
+    def fetch_async(self, page_ids: List[int]) -> PageFetch:
+        """Begin reading a batch of pages without blocking the caller.
+
+        The serializing backends move the bytes on a worker thread through
+        their own private handles (the calling thread's handles are never
+        shared); the in-memory backend completes immediately.  Unknown page
+        ids are silently absent from the result.  Async traffic is counted
+        in ``stats().bytes_prefetched``, not ``bytes_read``.
         """
         ...
 
@@ -177,6 +292,16 @@ class MemoryPageStore:
             return self._pages[page_id]
         except KeyError:
             raise KeyError(f"page {page_id} has not been allocated") from None
+
+    def fetch_async(self, page_ids: List[int]) -> PageFetch:
+        """In-memory pages are available instantly; latency (if any) is
+        simulated by the scheduler's clock, not by the store."""
+        records = {
+            page_id: self._pages[page_id]
+            for page_id in page_ids
+            if page_id in self._pages
+        }
+        return CompletedPageFetch(records)
 
     def page_meta(self, page_id: int) -> Tuple[str, int]:
         record = self.read_page(page_id)
@@ -297,6 +422,13 @@ class FilePageStore:
         self._dir: Dict[int, Tuple[int, str, int, int]] = {}
         self._bytes_read = 0
         self._bytes_written = 0
+        #: Bytes moved by the async prefetch reader (its worker thread is
+        #: the only writer of this counter).
+        self._bytes_prefetched = 0
+        self._async = _AsyncReader(self._prefetch_read)
+        #: Private handle of the prefetch worker thread (never the main
+        #: thread's ``_file``, whose seek position it would race).
+        self._prefetch_handle = None
         #: Test hook: abort the next record write after this many bytes.
         self._crash_after_bytes: Optional[int] = None
         self._file = open(self.path, "r+b" if os.path.exists(self.path) else "w+b")
@@ -329,8 +461,29 @@ class FilePageStore:
         if entry is None:
             raise KeyError(f"page {page_id} has not been allocated")
         slot, tag, size_bytes, payload_len = entry
-        offset = self._slot_offset(slot) + _REC_HEADER.size + len(tag.encode("utf-8"))
-        blob = self._read_at(offset, payload_len, count=count)
+        blob = self._read_at(self._payload_offset(slot, tag), payload_len, count=count)
+        return PageRecord(tag, _codec().decode_page_payload(blob), size_bytes)
+
+    def fetch_async(self, page_ids: List[int]) -> PageFetch:
+        return self._async.submit(page_ids)
+
+    def _prefetch_read(self, page_id: int) -> PageRecord:
+        """Read one page on the prefetch worker thread.
+
+        Runs only while the store is in its read phase (the join never
+        writes source-tree pages), so directory entries and slot offsets
+        are stable for the duration of a batch.
+        """
+        entry = self._dir.get(page_id)
+        if entry is None:
+            raise KeyError(f"page {page_id} has not been allocated")
+        slot, tag, size_bytes, payload_len = entry
+        handle = self._prefetch_handle
+        if handle is None or handle.closed:
+            handle = self._prefetch_handle = open(self.path, "rb")
+        handle.seek(self._payload_offset(slot, tag))
+        blob = handle.read(payload_len)
+        self._bytes_prefetched += len(blob)
         return PageRecord(tag, _codec().decode_page_payload(blob), size_bytes)
 
     def page_meta(self, page_id: int) -> Tuple[str, int]:
@@ -368,6 +521,7 @@ class FilePageStore:
             bytes_read=self._bytes_read,
             bytes_written=self._bytes_written,
             file_bytes=_FILE_HEADER.size + self._slots * self._slot_size,
+            bytes_prefetched=self._bytes_prefetched,
             extra={"slot_size": self._slot_size, "free_slots": len(self._free_slots)},
         )
 
@@ -388,8 +542,15 @@ class FilePageStore:
         self._owns_path = False
         self._finalizer.detach()
         self._drop_mmap()
+        # The inherited thread pool has no thread in this process; replace
+        # it (and the prefetch handle) rather than shutting it down.
+        self._async = _AsyncReader(self._prefetch_read)
+        self._prefetch_handle = None
 
     def close(self) -> None:
+        self._async.close()
+        if self._prefetch_handle is not None and not self._prefetch_handle.closed:
+            self._prefetch_handle.close()
         self._drop_mmap()
         if not self._file.closed:
             self._file.close()
@@ -402,6 +563,15 @@ class FilePageStore:
     # ------------------------------------------------------------------
     def _slot_offset(self, slot: int) -> int:
         return _FILE_HEADER.size + slot * self._slot_size
+
+    def _payload_offset(self, slot: int, tag: str) -> int:
+        """File offset of a record's payload bytes (header and tag skipped).
+
+        The single definition shared by the synchronous read path, the
+        prefetch reader and the rebuilder — they must agree on the layout
+        or the async reader would hand back garbage payloads.
+        """
+        return self._slot_offset(slot) + _REC_HEADER.size + len(tag.encode("utf-8"))
 
     def _load_or_init(self) -> None:
         self._file.seek(0, io.SEEK_END)
@@ -479,14 +649,25 @@ class FilePageStore:
         """Rewrite the whole file with bigger slots (atomic replace)."""
         records = []
         for page_id, (slot, tag, size_bytes, payload_len) in sorted(self._dir.items()):
-            offset = self._slot_offset(slot) + _REC_HEADER.size + len(tag.encode("utf-8"))
             # Maintenance traffic (count=False): stats().bytes_read reports
             # only the bytes that buffer misses pulled, on every backend.
             records.append(
-                (page_id, tag, size_bytes, self._read_at(offset, payload_len, count=False))
+                (
+                    page_id,
+                    tag,
+                    size_bytes,
+                    self._read_at(
+                        self._payload_offset(slot, tag), payload_len, count=False
+                    ),
+                )
             )
         # Release every handle on the old file before os.replace: Windows
-        # refuses to replace a file that is still open or mapped.
+        # refuses to replace a file that is still open or mapped.  The
+        # prefetch handle (if any) targets the old inode too; rebuilds only
+        # happen in the write phase, when no async batch can be in flight.
+        if self._prefetch_handle is not None and not self._prefetch_handle.closed:
+            self._prefetch_handle.close()
+        self._prefetch_handle = None
         self._drop_mmap()
         self._file.close()
         tmp_path = self.path + ".rebuild"
@@ -645,6 +826,11 @@ class SQLitePageStore:
         self._readonly = False
         self._bytes_read = 0
         self._bytes_written = 0
+        self._bytes_prefetched = 0
+        self._async = _AsyncReader(self._prefetch_read)
+        #: Read-only connection owned by the prefetch worker thread
+        #: (SQLite connections must not be shared across threads).
+        self._prefetch_conn = None
         self._conn = sqlite3.connect(self.path, isolation_level=None)
         self._conn.execute(
             "CREATE TABLE IF NOT EXISTS pages ("
@@ -680,6 +866,31 @@ class SQLitePageStore:
         tag, size_bytes, blob = row
         if count:
             self._bytes_read += len(blob)
+        return PageRecord(tag, _codec().decode_page_payload(blob), size_bytes)
+
+    def fetch_async(self, page_ids: List[int]) -> PageFetch:
+        return self._async.submit(page_ids)
+
+    def _prefetch_read(self, page_id: int) -> PageRecord:
+        """Read one page on the prefetch worker thread via its own
+        read-only connection (never the caller's)."""
+        conn = self._prefetch_conn
+        if conn is None:
+            # check_same_thread=False lets close() run on the main thread;
+            # only the single prefetch worker ever *queries* through it.
+            conn = self._prefetch_conn = self._sqlite3.connect(
+                f"file:{self.path}?mode=ro",
+                uri=True,
+                isolation_level=None,
+                check_same_thread=False,
+            )
+        row = conn.execute(
+            "SELECT tag, size_bytes, payload FROM pages WHERE page_id = ?", (page_id,)
+        ).fetchone()
+        if row is None:
+            raise KeyError(f"page {page_id} has not been allocated")
+        tag, size_bytes, blob = row
+        self._bytes_prefetched += len(blob)
         return PageRecord(tag, _codec().decode_page_payload(blob), size_bytes)
 
     def page_meta(self, page_id: int) -> Tuple[str, int]:
@@ -728,6 +939,7 @@ class SQLitePageStore:
             bytes_read=self._bytes_read,
             bytes_written=self._bytes_written,
             file_bytes=file_bytes,
+            bytes_prefetched=self._bytes_prefetched,
         )
 
     def reopen_in_worker(self) -> None:
@@ -742,8 +954,16 @@ class SQLitePageStore:
         self._readonly = True
         self._owns_path = False
         self._finalizer.detach()
+        # The fork-inherited prefetch pool has no thread (and its
+        # connection no owning thread) in this process; replace both.
+        self._async = _AsyncReader(self._prefetch_read)
+        self._prefetch_conn = None
 
     def close(self) -> None:
+        self._async.close()
+        if self._prefetch_conn is not None:
+            self._prefetch_conn.close()
+            self._prefetch_conn = None
         self._conn.close()
         self._finalizer.detach()
         if self._owns_path and os.path.exists(self.path):
@@ -753,6 +973,9 @@ class SQLitePageStore:
 __all__ = [
     "PageStore",
     "PageRecord",
+    "PageFetch",
+    "CompletedPageFetch",
+    "ThreadedPageFetch",
     "StorageStats",
     "MemoryPageStore",
     "FilePageStore",

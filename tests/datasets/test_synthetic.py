@@ -58,8 +58,7 @@ class TestClusteredPoints:
 
     def test_clustering_is_visible(self):
         """Clustered data must be far less spread out than uniform data."""
-        import statistics
-
+        
         clustered = clustered_points(400, clusters=3, seed=9, uniform_fraction=0.0)
         uniform = uniform_points(400, seed=9)
 

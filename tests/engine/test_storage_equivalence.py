@@ -103,6 +103,108 @@ class TestBackendEquivalence:
                 assert set(run_on(backend, algorithm).pairs) == oracle, algorithm
 
 
+class TestPrefetchEquivalence:
+    """Overlapped I/O must be invisible to the paper's cost model.
+
+    Whatever the prefetch mode, the emitted pair list and every logical
+    ``JoinStats`` counter (page accesses, cells, candidates, the full
+    progress curve) must be byte-identical to ``prefetch="off"`` on every
+    backend — prefetching may only change the *physical* stall/overlap
+    accounting of ``storage_stats()``.
+    """
+
+    @pytest.mark.parametrize("algorithm", ["nm", "pm", "fm"])
+    @pytest.mark.parametrize("backend", list(STORAGE_BACKENDS))
+    def test_next_batch_serial_identical_to_off(self, backend, algorithm):
+        off = run_on(backend, algorithm)
+        on = run_on(backend, algorithm, prefetch="next_batch")
+        assert on.pairs == off.pairs
+        assert stats_fingerprint(on) == stats_fingerprint(off)
+        # The pipeline genuinely ran: pages were issued and consumed.
+        assert on.storage.pages_prefetched > 0
+        assert on.storage.prefetch_hits > 0
+        assert off.storage.pages_prefetched == 0
+
+    @pytest.mark.parametrize("algorithm", ["nm", "pm", "fm"])
+    @pytest.mark.parametrize("backend", list(STORAGE_BACKENDS))
+    def test_next_shard_identical_to_sharded_off(self, backend, algorithm):
+        # The inline pool shares the parent's disk, so shard-boundary
+        # staging is observable and the counters stay comparable.
+        sharded = dict(executor="sharded", workers=3, pool="inline")
+        off = run_on(backend, algorithm, **sharded)
+        on = run_on(backend, algorithm, prefetch="next_shard", **sharded)
+        assert on.pairs == off.pairs
+        assert stats_fingerprint(on) == stats_fingerprint(off)
+        assert on.storage.pages_prefetched > 0
+        assert on.storage.prefetch_hits > 0
+
+    @pytest.mark.parametrize("backend", list(STORAGE_BACKENDS))
+    def test_next_batch_inside_shards_identical(self, backend):
+        sharded = dict(executor="sharded", workers=3, pool="inline")
+        off = run_on(backend, "nm", **sharded)
+        on = run_on(backend, "nm", prefetch="next_batch", **sharded)
+        assert on.pairs == off.pairs
+        assert stats_fingerprint(on) == stats_fingerprint(off)
+
+    def test_all_modes_agree_across_backends(self):
+        reference = run_on("memory", "nm")
+        for backend in STORAGE_BACKENDS:
+            for overrides in (
+                dict(prefetch="next_batch"),
+                dict(
+                    prefetch="next_shard",
+                    executor="sharded",
+                    workers=3,
+                    pool="inline",
+                ),
+            ):
+                result = run_on(backend, "nm", **overrides)
+                assert result.pairs == reference.pairs, (backend, overrides)
+
+    def test_next_shard_requires_sharded_executor(self):
+        with pytest.raises(ValueError, match="next_shard"):
+            run_on("memory", "nm", prefetch="next_shard")
+
+    def test_next_shard_rejects_fork_pool(self):
+        # Staged pages live in the dispatching process; forked workers
+        # could never consume them, so the contradiction fails loudly
+        # instead of silently prefetching nothing.
+        with pytest.raises(ValueError, match="fork"):
+            run_on(
+                "memory",
+                "nm",
+                prefetch="next_shard",
+                executor="sharded",
+                workers=3,
+                pool="fork",
+            )
+
+    def test_next_shard_auto_pool_stages_inline(self):
+        """The default pool ('auto') must not turn next_shard into a
+        silent no-op: it resolves to the inline path and really stages.
+        The baseline keeps pool='auto' too (fork) — PR 3's buffer rewind
+        guarantees inline and forked shards charge identical counters."""
+        off = run_on("memory", "nm", executor="sharded", workers=3)
+        auto = run_on("memory", "nm", prefetch="next_shard", executor="sharded", workers=3)
+        assert auto.pairs == off.pairs
+        assert stats_fingerprint(auto) == stats_fingerprint(off)
+        assert auto.storage.pages_prefetched > 0
+        assert auto.storage.prefetch_hits > 0
+
+    def test_dynamic_session_rejects_prefetch(self):
+        from repro.datasets.workload import WorkloadConfig, build_workload
+        from repro.engine import JoinEngine
+
+        engine = JoinEngine()
+        with build_workload(
+            WorkloadConfig(), points_p=POINTS_P[:50], points_q=POINTS_Q[:50]
+        ) as workload:
+            with pytest.raises(ValueError, match="prefetch"):
+                engine.open_dynamic(
+                    workload.tree_p, workload.tree_q, prefetch="next_batch"
+                )
+
+
 class TestFileBackedPaging:
     """Acceptance scenario: a file-backed NM-CIJ whose working set exceeds
     the LRU buffer pages real bytes off disk yet reports the same pairs

@@ -1,11 +1,9 @@
 """Property-based tests for convex polygon clipping and intersection."""
 
 import pytest
-from hypothesis import assume, given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings
 
 from repro.geometry.halfplane import bisector_halfplane
-from repro.geometry.point import Point
 from repro.geometry.polygon import ConvexPolygon
 from repro.geometry.rect import Rect
 from tests.conftest import distinct_pointsets, points_strategy

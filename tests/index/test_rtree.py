@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.datasets.synthetic import DOMAIN, uniform_points
+from repro.datasets.synthetic import uniform_points
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 from repro.index.rtree import RTree, capacities_for_page

@@ -1,6 +1,5 @@
 """Tests for the brute-force CIJ oracles."""
 
-import pytest
 
 from repro.datasets.synthetic import DOMAIN, uniform_points
 from repro.geometry.point import Point

@@ -1,6 +1,5 @@
 """Tests for the ConditionalFilter (Algorithm 5) and its batch variant."""
 
-import pytest
 
 from repro.datasets.synthetic import DOMAIN, uniform_points
 from repro.datasets.workload import build_indexed_pointset

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.datasets.synthetic import DOMAIN, uniform_points
-from repro.datasets.workload import WorkloadConfig, build_indexed_pointset, build_workload
+from repro.datasets.workload import build_indexed_pointset
 from repro.join.baseline import brute_force_cij_pairs
 from repro.join.lower_bound import lower_bound_io
 from repro.join.multiway import multiway_cij

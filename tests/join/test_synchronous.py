@@ -1,9 +1,7 @@
 """Tests for the synchronous-traversal intersection join."""
 
-import pytest
 
-from repro.datasets.synthetic import DOMAIN, uniform_points
-from repro.geometry.point import Point
+from repro.datasets.synthetic import uniform_points
 from repro.geometry.polygon import ConvexPolygon
 from repro.geometry.rect import Rect
 from repro.index.bulkload import bulk_load_records

@@ -5,7 +5,6 @@ import pytest
 import repro
 from repro import DOMAIN, brute_force_cij, common_influence_join, uniform_points
 from repro.geometry.point import Point
-from repro.geometry.rect import Rect
 
 
 class TestCommonInfluenceJoin:

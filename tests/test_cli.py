@@ -104,6 +104,65 @@ class TestWorkersValidation:
         assert "result pairs" in capsys.readouterr().out
 
 
+class TestPrefetchFlags:
+    """--prefetch drives the overlapped-I/O pipeline; contradictory
+    combinations must be rejected loudly, not silently ignored."""
+
+    def test_next_batch_join_runs_and_reports_pipeline(self, capsys):
+        assert main([
+            "join", "--n-p", "40", "--n-q", "30",
+            "--prefetch", "next_batch", "--fetch-latency-ms", "0.1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "result pairs" in out
+        assert "prefetch" in out
+        assert "overlapped" in out
+
+    def test_next_shard_requires_sharded_executor(self, capsys):
+        assert main(["join", "--n-p", "30", "--n-q", "20",
+                     "--prefetch", "next_shard"]) == 2
+        err = capsys.readouterr().err
+        assert "next_shard" in err and "sharded" in err
+
+    def test_next_shard_with_sharded_executor_runs(self, capsys):
+        assert main([
+            "join", "--n-p", "40", "--n-q", "30",
+            "--executor", "sharded", "--workers", "2",
+            "--prefetch", "next_shard",
+        ]) == 0
+        assert "result pairs" in capsys.readouterr().out
+
+    def test_prefetch_identical_pairs_and_accesses(self, capsys):
+        """The CLI surfaces the invariant: pair and page-access lines are
+        identical with and without --prefetch."""
+        assert main(["join", "--n-p", "40", "--n-q", "30"]) == 0
+        baseline = capsys.readouterr().out
+        assert main(["join", "--n-p", "40", "--n-q", "30",
+                     "--prefetch", "next_batch"]) == 0
+        prefetched = capsys.readouterr().out
+
+        def line(text, prefix):
+            return next(l for l in text.splitlines() if l.startswith(prefix))
+
+        assert line(prefetched, "result pairs") == line(baseline, "result pairs")
+        assert line(prefetched, "page accesses") == line(baseline, "page accesses")
+
+    def test_updates_with_prefetch_rejected(self, capsys, stream_file):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["join", "--updates", stream_file, "--prefetch", "next_batch"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--updates" in err and "--prefetch" in err
+
+    def test_updates_with_prefetch_off_allowed(self, capsys, stream_file):
+        """--prefetch off states the synchronous default explicitly."""
+        assert main([
+            "join", "--n-p", "40", "--n-q", "30",
+            "--updates", stream_file, "--prefetch", "off",
+        ]) == 0
+        assert "final pairs" in capsys.readouterr().out
+
+
 class TestUpdateStreams:
     """--updates drives incremental maintenance; contradictory executor
     combinations and malformed stream files must fail with clear messages."""

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.datasets.synthetic import DOMAIN, uniform_points
+from repro.datasets.synthetic import uniform_points
 from repro.experiments.harness import ExperimentResult
 from repro.join.result import CIJResult, JoinStats
 from repro.persistence import (

@@ -4,7 +4,6 @@ import pytest
 
 from repro.datasets.synthetic import DOMAIN, uniform_points
 from repro.datasets.workload import build_indexed_pointset
-from repro.geometry.point import Point
 from repro.storage.disk import DiskManager
 from repro.voronoi.batch import compute_cells_for_leaf, compute_voronoi_cells
 from repro.voronoi.diagram import brute_force_cell

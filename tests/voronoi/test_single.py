@@ -6,7 +6,7 @@ import pytest
 
 from repro.datasets.synthetic import DOMAIN, uniform_points
 from repro.datasets.workload import build_indexed_pointset
-from repro.geometry.point import Point, dist
+from repro.geometry.point import Point
 from repro.index.rtree import RTree
 from repro.storage.disk import DiskManager
 from repro.voronoi.diagram import brute_force_cell
