@@ -49,6 +49,7 @@ from repro.dynamic.updates import PairDelta, Update, UpdateBatch, UpdateStats
 from repro.engine.config import EngineConfig
 from repro.geometry.point import Point, dist
 from repro.geometry.rect import Rect
+from repro.geometry.tolerance import TIE_SLACK
 from repro.index.rtree import RTree
 from repro.join.conditional_filter import FilterStats, batch_conditional_filter
 from repro.voronoi.batch import compute_cells_for_leaf, compute_voronoi_cells
@@ -59,7 +60,7 @@ from repro.voronoi.single import CellComputationStats
 #: contributes an edge makes the edge's endpoints exactly equidistant from
 #: the two sites; the slack only ever *adds* cells to the dirty set, which
 #: recomputation then proves unchanged, so correctness never depends on it.
-_TIE_TOLERANCE = 1e-6
+_TIE_TOLERANCE = TIE_SLACK
 
 
 class DynamicJoinSession:

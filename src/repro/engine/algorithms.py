@@ -242,24 +242,35 @@ class JoinAlgorithm:
         Voronoi batch, the pages of leaves *i+1 … i+depth* — each leaf's
         own page plus its MBR-pruned candidate set — are already being
         fetched on the backend's worker thread.
+
+        The candidate set is speculative (the filter may prune some of
+        it), which is harmless mid-traversal: the next batch's plan
+        re-requests whatever is still useful, so unread speculation is
+        consumed eventually.  The *final* planned batch has no successor
+        to reclaim it, so its plan issues only the leaf's own page — the
+        one page the charged iterator is certain to read — keeping
+        ``prefetch_wasted`` at zero instead of stranding pruned
+        candidates in the staging area until drain.
         """
         depth = ctx.config.prefetch_depth
         plans = ctx.tree_q.plan_leaf_pages(order="hilbert")
+        upcoming = next(plans, None)
         issued = 0
         consumed = 0
         for leaf in leaves:
             consumed += 1
-            while issued < consumed:  # skip plans up to the current leaf
-                if next(plans, None) is None:
-                    break
+            while upcoming is not None and issued < consumed:
+                # skip plans up to the current (already charged) leaf
+                upcoming = next(plans, None)
                 issued += 1
-            while issued < consumed + depth:
-                plan = next(plans, None)
-                if plan is None:
-                    break
+            while upcoming is not None and issued < consumed + depth:
+                page_id, mbr = upcoming
+                upcoming = next(plans, None)
                 issued += 1
-                page_id, mbr = plan
-                prefetcher.request([page_id] + self.unit_plan(ctx, mbr))
+                if upcoming is None:
+                    prefetcher.request([page_id])
+                else:
+                    prefetcher.request([page_id] + self.unit_plan(ctx, mbr))
             yield leaf
 
 
@@ -294,6 +305,7 @@ class NMJoin(JoinAlgorithm):
             reuse_cells=ctx.config.reuse_cells,
             use_phi_pruning=ctx.config.use_phi_pruning,
             initial_reuse=ctx.carry,
+            compute=ctx.config.compute or "scalar",
         )
         ctx.carry = final_buffer if ctx.config.reuse_cells else None
         return pairs
@@ -311,7 +323,11 @@ class PMJoin(JoinAlgorithm):
         from repro.join.materialize import materialize_voronoi_rtree
 
         voronoi_p, count_p = materialize_voronoi_rtree(
-            ctx.tree_p, ctx.domain, tag=f"{ctx.tree_p.tag}_vor", stats=ctx.cell_stats
+            ctx.tree_p,
+            ctx.domain,
+            tag=f"{ctx.tree_p.tag}_vor",
+            stats=ctx.cell_stats,
+            compute=ctx.config.compute or "scalar",
         )
         ctx.stats.cells_computed_p = count_p
         ctx.prepared["voronoi_p"] = voronoi_p
@@ -338,6 +354,7 @@ class PMJoin(JoinAlgorithm):
             ctx.stats,
             ctx.cell_stats,
             ctx.start_counters,
+            compute=ctx.config.compute or "scalar",
         )
 
 
@@ -359,11 +376,20 @@ class FMJoin(JoinAlgorithm):
     def prepare(self, ctx):
         from repro.join.materialize import materialize_voronoi_rtree
 
+        compute = ctx.config.compute or "scalar"
         voronoi_p, count_p = materialize_voronoi_rtree(
-            ctx.tree_p, ctx.domain, tag=f"{ctx.tree_p.tag}_vor", stats=ctx.cell_stats
+            ctx.tree_p,
+            ctx.domain,
+            tag=f"{ctx.tree_p.tag}_vor",
+            stats=ctx.cell_stats,
+            compute=compute,
         )
         voronoi_q, count_q = materialize_voronoi_rtree(
-            ctx.tree_q, ctx.domain, tag=f"{ctx.tree_q.tag}_vor", stats=ctx.cell_stats
+            ctx.tree_q,
+            ctx.domain,
+            tag=f"{ctx.tree_q.tag}_vor",
+            stats=ctx.cell_stats,
+            compute=compute,
         )
         ctx.stats.cells_computed_p = count_p
         ctx.stats.cells_computed_q = count_q

@@ -14,6 +14,7 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.geometry.kernels import COMPUTE_MODES
 from repro.geometry.rect import Rect
 from repro.storage.backends import STORAGE_BACKENDS
 
@@ -112,6 +113,14 @@ class EngineConfig:
     prefetch_depth:
         How many units ahead the ``next_batch``/``next_shard`` pipelines
         plan (also the number of opening units staged per shard).
+    compute:
+        Geometry inner-loop implementation: ``"scalar"`` (pure Python, the
+        oracle) or ``"kernel"`` (vectorised NumPy kernels from
+        :mod:`repro.geometry.kernels`; requires NumPy).  Pairs, join/filter
+        statistics and every I/O counter are byte-identical across modes —
+        only wall-clock CPU changes.  ``None`` (default) resolves at run
+        time from ``$REPRO_COMPUTE``, falling back to ``"scalar"``.
+        Dynamic maintenance (:mod:`repro.dynamic`) always runs scalar.
     """
 
     executor: str = "serial"
@@ -127,6 +136,7 @@ class EngineConfig:
     delta_candidates: str = "filter"
     prefetch: str = "off"
     prefetch_depth: int = 2
+    compute: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.executor not in EXECUTORS:
@@ -159,6 +169,11 @@ class EngineConfig:
             )
         if self.prefetch_depth < 1:
             raise ValueError("prefetch_depth must be at least 1")
+        if self.compute is not None and self.compute not in COMPUTE_MODES:
+            raise ValueError(
+                f"unknown compute mode {self.compute!r}; "
+                f"expected one of {COMPUTE_MODES}"
+            )
         if self.prefetch == "next_shard" and self.executor != "sharded":
             raise ValueError(
                 "prefetch='next_shard' overlaps shard boundaries and requires "

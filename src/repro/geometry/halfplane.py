@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Tuple
 
 from repro.geometry.point import Point
+from repro.geometry.tolerance import BOUNDARY_EPS
 
 
 @dataclass(frozen=True)
@@ -38,9 +39,20 @@ class Halfplane:
         """Signed evaluation ``a*x + b*y - c`` (non-positive inside)."""
         return self.a * p.x + self.b * p.y - self.c
 
-    def contains(self, p: Point, eps: float = 1e-9) -> bool:
-        """Whether ``p`` lies in the closed halfplane (with tolerance)."""
-        return self.value(p) <= eps * max(1.0, abs(self.c))
+    def contains(self, p: Point, eps: float = BOUNDARY_EPS) -> bool:
+        """Whether ``p`` lies in the closed halfplane (with tolerance).
+
+        The tolerance is scaled exactly like the polygon clipping tolerance
+        (``eps`` times the normal's norm, i.e. an ``eps`` distance to the
+        boundary line), so a point near the boundary gets the same verdict
+        here and from :meth:`ConvexPolygon.clip_halfplane` — the historic
+        ``1e-9 * max(1, |c|)`` variant disagreed with clipping for points
+        within ``[1e-9, 1e-7]`` of the line.  The degenerate zero-normal
+        halfplane keeps the old coefficient-scaled fallback.
+        """
+        norm = math.sqrt(self.a * self.a + self.b * self.b)
+        tol = eps * (norm if norm > 0.0 else max(1.0, abs(self.c)))
+        return self.value(p) <= tol
 
     def signed_distance(self, p: Point) -> float:
         """Euclidean signed distance of ``p`` to the boundary line.

@@ -27,8 +27,9 @@ from repro.geometry.point import Point, dist
 from repro.geometry.polygon import ConvexPolygon
 from repro.geometry.rect import Rect
 from repro.geometry.segment import Segment
+from repro.geometry.tolerance import CONTAINMENT_EPS
 
-_EPS = 1e-9
+_EPS = CONTAINMENT_EPS
 
 
 def phi_contains_point(segment: Segment, p: Point, location: Point) -> bool:

@@ -37,8 +37,17 @@ class Point:
         return (Point, (self.x, self.y))
 
     def distance_to(self, other: "Point") -> float:
-        """Euclidean distance to ``other``."""
-        return math.hypot(self.x - other.x, self.y - other.y)
+        """Euclidean distance to ``other``.
+
+        Computed as ``sqrt(dx*dx + dy*dy)`` rather than ``math.hypot``:
+        multiply, add and sqrt are correctly rounded in both C and NumPy,
+        so the vectorised kernels reproduce this value bit-for-bit (hypot
+        may differ from it by one ulp, which would break the kernel-vs-
+        scalar byte-equality the differential tests pin).
+        """
+        dx = self.x - other.x
+        dy = self.y - other.y
+        return math.sqrt(dx * dx + dy * dy)
 
     def distance_sq_to(self, other: "Point") -> float:
         """Squared Euclidean distance to ``other`` (avoids the sqrt)."""
@@ -60,8 +69,12 @@ class Point:
 
 
 def dist(a: Point, b: Point) -> float:
-    """Euclidean distance between two points."""
-    return math.hypot(a.x - b.x, a.y - b.y)
+    """Euclidean distance between two points (same formula as
+    :meth:`Point.distance_to`; see there for the kernel bit-equality
+    constraint)."""
+    dx = a.x - b.x
+    dy = a.y - b.y
+    return math.sqrt(dx * dx + dy * dy)
 
 
 def dist_sq(a: Point, b: Point) -> float:

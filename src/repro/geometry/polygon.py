@@ -18,11 +18,12 @@ from typing import Iterable, List, Sequence, Tuple
 from repro.geometry.halfplane import Halfplane
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
+from repro.geometry.tolerance import BOUNDARY_EPS
 
-# Relative tolerance used by the clipping and intersection predicates.  The
-# experiment domain is [0, 10000], so absolute coordinates stay modest and a
-# fixed epsilon is adequate.
-_EPS = 1e-7
+# Tolerance used by the clipping and intersection predicates; see
+# repro.geometry.tolerance for the policy shared with the other predicates
+# (and with the NumPy kernel path, which must agree bit-for-bit).
+_EPS = BOUNDARY_EPS
 
 
 class ConvexPolygon:
@@ -233,7 +234,10 @@ class ConvexPolygon:
         # is the distance to the boundary line, so scaling the epsilon by the
         # normal's norm keeps the behaviour stable for both huge and tiny
         # halfplane coefficients (e.g. bisectors of nearly-coincident sites).
-        norm = math.hypot(hp.a, hp.b)
+        # sqrt(a*a + b*b) rather than math.hypot: multiply/add/sqrt are all
+        # correctly rounded in both C and NumPy, so the kernel path computes
+        # the identical float; hypot may differ from it by one ulp.
+        norm = math.sqrt(hp.a * hp.a + hp.b * hp.b)
         tol = _EPS * (norm if norm > 0.0 else max(1.0, abs(hp.c)))
         values = [hp.value(v) for v in verts]
         if all(v <= tol for v in values):
@@ -362,7 +366,9 @@ def _separating_axis_exists(
             # Outward normal of edge v->w for a CCW ring.
             nx = w.y - v.y
             ny = v.x - w.x
-            norm = math.hypot(nx, ny)
+            # Same-formula constraint as clip_halfplane: the kernel SAT
+            # must reproduce this norm bit-for-bit.
+            norm = math.sqrt(nx * nx + ny * ny)
             if norm < eps:
                 continue
             # Max projection of this polygon onto the normal.

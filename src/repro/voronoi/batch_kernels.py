@@ -1,0 +1,268 @@
+"""Kernel BatchVoronoi: Algorithm 2 with array-native inner loops.
+
+This is the ``compute="kernel"`` twin of
+:func:`repro.voronoi.batch.compute_voronoi_cells`.  The best-first
+traversal — heap order, group-wide termination bound, every counter in
+:class:`~repro.voronoi.single.CellComputationStats` — is kept structurally
+identical to the scalar implementation; the inner work is reorganised
+around the :mod:`repro.geometry.kernels` primitives:
+
+* each member's running cell lives as a plain tuple ring and is clipped
+  with :func:`repro.geometry.kernels.clip_ring` (profiling showed NumPy's
+  per-call dispatch loses to tight Python on 6-vertex rings);
+* the group pre-refinement computes all pairwise site distances and the
+  nearest-first candidate order with one vectorised pass per member, then
+  walks it with Lemma-1 early termination;
+* the per-pop Lemma-1/Lemma-2 tests for *all* members run as one masked
+  matrix operation over padded per-member vertex arrays — the kernel's
+  main win, replacing the scalar per-member/per-vertex Python loops.
+
+Because the kernels are bit-identical to the scalar arithmetic (see
+:mod:`repro.geometry.kernels`), every pruning decision, clip, heap pop and
+returned cell polygon is byte-equal to the scalar path's — which the
+differential test-suite pins across algorithms, backends and executors.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.geometry import kernels as gk
+from repro.geometry.point import Point, centroid
+from repro.geometry.rect import Rect
+from repro.index.rtree import RTree
+from repro.voronoi.cell import VoronoiCell
+from repro.voronoi.single import CellComputationStats
+
+_POINT = 0
+_CHILD = 1
+
+
+class _KernelMember:
+    """Per-member state: tuple ring, cached site-to-vertex distances and
+    the Lemma-1 influence radius (the kernel twin of
+    ``repro.voronoi.batch._MemberState``)."""
+
+    __slots__ = ("oid", "site", "sx", "sy", "ring", "vdist", "reach")
+
+    def __init__(self, oid: int, site: Point, ring):
+        self.oid = oid
+        self.site = site
+        self.sx = site.x
+        self.sy = site.y
+        self.set_ring(ring)
+
+    def set_ring(self, ring) -> None:
+        self.ring = ring
+        self.vdist = gk.ring_distances(ring, self.sx, self.sy)
+        self.reach = 2.0 * max(self.vdist) if self.vdist else 0.0
+
+    def refine(self, ox: float, oy: float) -> None:
+        """Clip the running cell by the bisector with ``(ox, oy)``."""
+        a = 2.0 * (ox - self.sx)
+        b = 2.0 * (oy - self.sy)
+        c = (ox * ox + oy * oy) - (self.sx * self.sx + self.sy * self.sy)
+        self.set_ring(gk.clip_ring(self.ring, a, b, c))
+
+
+class _GroupIndex:
+    """Padded per-member vertex matrices for the per-pop Lemma tests.
+
+    ``VX``/``VY``/``VD`` are ``(M, W)`` matrices, one row per member,
+    padded on the right; padding has ``VD = -inf`` so a padded slot can
+    never "beat" (``dist < -inf`` is always false).  Refining member *i*
+    rewrites row *i* only.  Scalar equivalence: the masks are computed
+    from the pre-pop state, and refining member *i* never changes member
+    *j*'s test, so batch evaluation equals the scalar member-by-member
+    loop.
+    """
+
+    __slots__ = ("members", "SX", "SY", "REACH", "VX", "VY", "VD", "width")
+
+    def __init__(self, members: List[_KernelMember]):
+        np = gk.np
+        self.members = members
+        m = len(members)
+        self.SX = np.array([s.sx for s in members])
+        self.SY = np.array([s.sy for s in members])
+        self.REACH = np.array([s.reach for s in members])
+        self.width = max(4, max(len(s.ring) for s in members))
+        self.VX = np.zeros((m, self.width))
+        self.VY = np.zeros((m, self.width))
+        self.VD = np.full((m, self.width), -np.inf)
+        for i in range(m):
+            self.update_row(i)
+
+    def update_row(self, i: int) -> None:
+        member = self.members[i]
+        nv = len(member.ring)
+        if nv > self.width:
+            self._grow(nv)
+        if nv:
+            self.VX[i, :nv] = [p[0] for p in member.ring]
+            self.VY[i, :nv] = [p[1] for p in member.ring]
+            self.VD[i, :nv] = member.vdist
+        self.VD[i, nv:] = -gk.np.inf
+        self.REACH[i] = member.reach
+
+    def _grow(self, need: int) -> None:
+        np = gk.np
+        new_width = max(need, 2 * self.width)
+        m = len(self.members)
+        for name in ("VX", "VY"):
+            grown = np.zeros((m, new_width))
+            grown[:, : self.width] = getattr(self, name)
+            setattr(self, name, grown)
+        grown = np.full((m, new_width), -np.inf)
+        grown[:, : self.width] = self.VD
+        self.VD = grown
+        self.width = new_width
+
+    def point_can_refine_mask(self, ox: float, oy: float):
+        """Lemma 1 (with the radius pre-check) for every member at once."""
+        np = gk.np
+        sdx = self.SX - ox
+        sdy = self.SY - oy
+        in_radius = np.sqrt(sdx * sdx + sdy * sdy) <= self.REACH
+        if not in_radius.any():
+            return in_radius
+        ddx = self.VX - ox
+        ddy = self.VY - oy
+        beat = np.sqrt(ddx * ddx + ddy * ddy) < self.VD
+        return in_radius & beat.any(axis=1)
+
+    def mbr_can_refine_any(self, mbr: Rect) -> bool:
+        """Lemma 2 (with the radius pre-check): can the MBR refine *any*
+        member's cell?"""
+        site_md = gk.rect_mindist_to_points(
+            mbr.xmin, mbr.ymin, mbr.xmax, mbr.ymax, self.SX, self.SY
+        )
+        in_radius = site_md <= self.REACH
+        if not in_radius.any():
+            return False
+        vert_md = gk.rect_mindist_to_points(
+            mbr.xmin, mbr.ymin, mbr.xmax, mbr.ymax, self.VX, self.VY
+        )
+        beat = vert_md < self.VD
+        return bool((in_radius & beat.any(axis=1)).any())
+
+    def termination_bound(self, cdist) -> float:
+        """``max(reach_m + dist(centroid, site_m))`` over the members."""
+        return float(gk.np.max(self.REACH + cdist))
+
+
+def compute_voronoi_cells_kernel(
+    tree: RTree,
+    group: Sequence[Tuple[int, Point]],
+    domain: Rect,
+    stats: Optional[CellComputationStats] = None,
+) -> Dict[int, VoronoiCell]:
+    """Kernel twin of :func:`repro.voronoi.batch.compute_voronoi_cells`.
+
+    Same contract, same counters, byte-identical cells; see the module
+    docstring for the equivalence argument.
+    """
+    gk.require_numpy()
+    np = gk.np
+    members = list(group)
+    if not members:
+        raise ValueError("BatchVoronoi requires a non-empty group")
+    oids = [oid for oid, _ in members]
+    if len(set(oids)) != len(oids):
+        raise ValueError("group oids must be unique")
+    stats = stats if stats is not None else CellComputationStats()
+
+    domain_ring = gk.ring_of_rect(domain)
+    states: Dict[int, _KernelMember] = {
+        oid: _KernelMember(oid, site, domain_ring) for oid, site in members
+    }
+    if tree.is_empty():
+        return {
+            oid: VoronoiCell(oid, m.site, gk.polygon_from_ring(m.ring))
+            for oid, m in states.items()
+        }
+
+    member_list = list(states.values())
+    # Group pre-refinement, nearest-first per member: one vectorised
+    # distance/sort pass builds the scalar loop's sorted candidate order,
+    # then the ring engine walks it with Lemma-1 early termination.
+    sites_x = np.array([m.sx for m in member_list])
+    sites_y = np.array([m.sy for m in member_list])
+    for i, m in enumerate(member_list):
+        dx = sites_x - m.sx
+        dy = sites_y - m.sy
+        d = np.sqrt(dx * dx + dy * dy)
+        eligible = np.ones(len(member_list), dtype=bool)
+        eligible[i] = False
+        eligible &= (sites_x != m.sx) | (sites_y != m.sy)
+        idx = np.flatnonzero(eligible)
+        if idx.size == 0:
+            continue
+        order = idx[np.argsort(d[idx], kind="stable")]
+        ring, vdist, reach, clips = gk.refine_ring_nearest_first(
+            m.ring, m.sx, m.sy,
+            sites_x[order], sites_y[order], d[order].tolist(),
+            m.vdist, m.reach,
+        )
+        m.ring = ring
+        m.vdist = vdist
+        m.reach = reach
+        stats.refinements += clips
+
+    group_center = centroid([m.site for m in member_list])
+    center_dists = np.array([m.site.distance_to(group_center) for m in member_list])
+    counter = itertools.count()
+    heap: List[tuple] = []
+    index = _GroupIndex(member_list)
+
+    def push_node(node) -> None:
+        kind = _POINT if node.is_leaf else _CHILD
+        for entry in node.entries:
+            key = entry.mbr.mindist_point(group_center)
+            heapq.heappush(heap, (key, next(counter), kind, entry))
+
+    push_node(tree.read_node(tree.root_page))
+    bound = index.termination_bound(center_dists)
+    while heap:
+        key, _, kind, entry = heapq.heappop(heap)
+        stats.heap_pops += 1
+        if key > bound:
+            stats.pruned_entries += 1 + len(heap)
+            break
+        if kind == _POINT:
+            if _is_group_entry(entry, states):
+                continue
+            stats.points_examined += 1
+            other = entry.payload
+            hits = np.flatnonzero(index.point_can_refine_mask(other.x, other.y))
+            if hits.size:
+                for i in hits:
+                    member_list[i].refine(other.x, other.y)
+                    stats.refinements += 1
+                    index.update_row(i)
+                bound = index.termination_bound(center_dists)
+            else:
+                stats.pruned_entries += 1
+        else:
+            if index.mbr_can_refine_any(entry.mbr):
+                node = tree.read_node(entry.child_page)
+                stats.nodes_expanded += 1
+                push_node(node)
+            else:
+                stats.pruned_entries += 1
+    return {
+        oid: VoronoiCell(oid, m.site, gk.polygon_from_ring(m.ring))
+        for oid, m in states.items()
+    }
+
+
+def _is_group_entry(entry, states: Dict[int, _KernelMember]) -> bool:
+    """Whether a deheaped point entry is one of the group members (same
+    test as the scalar module)."""
+    state = states.get(entry.oid)
+    if state is None:
+        return False
+    other = entry.payload
+    return isinstance(other, Point) and other.x == state.sx and other.y == state.sy

@@ -1,0 +1,105 @@
+"""Engine equivalence between the scalar and the kernel compute modes.
+
+``compute="kernel"`` re-implements the CIJ hot loops on NumPy arrays; the
+scalar path is the oracle.  The kernels are written for *bit-identical*
+floats, so the contract is strict byte-equality — the pair list in order,
+every logical ``JoinStats`` counter, the Voronoi work counters and the
+filter-phase counters — across algorithms, storage backends and executors.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+pytest.importorskip("numpy")
+
+from repro.datasets.synthetic import uniform_points
+from repro.experiments.drivers.common import run_cij
+from repro.join.result import CIJResult
+from repro.storage.backends import STORAGE_BACKENDS
+from tests.engine.test_storage_equivalence import stats_fingerprint
+
+POINTS_P = uniform_points(240, seed=3)
+POINTS_Q = uniform_points(210, seed=11)
+
+
+def run_mode(compute: str, algorithm: str, backend: str = "memory", **overrides):
+    return run_cij(
+        algorithm,
+        POINTS_P,
+        POINTS_Q,
+        storage=backend,
+        compute=compute,
+        **overrides,
+    )
+
+
+def work_fingerprint(result: CIJResult) -> dict:
+    """The Voronoi and filter work counters (all deterministic)."""
+    fingerprint = dict(vars(result.cell_stats))
+    if result.filter_stats is not None:
+        fingerprint.update(
+            {f"filter_{k}": v for k, v in vars(result.filter_stats).items()}
+        )
+    return fingerprint
+
+
+def assert_byte_identical(kernel: CIJResult, scalar: CIJResult, label: str):
+    assert kernel.pairs == scalar.pairs, label
+    assert stats_fingerprint(kernel) == stats_fingerprint(scalar), label
+    assert work_fingerprint(kernel) == work_fingerprint(scalar), label
+
+
+class TestKernelScalarEquivalence:
+    @pytest.mark.parametrize("algorithm", ["nm", "pm", "fm"])
+    @pytest.mark.parametrize("backend", list(STORAGE_BACKENDS))
+    def test_serial_runs_identical_on_every_backend(self, backend, algorithm):
+        scalar = run_mode("scalar", algorithm, backend)
+        kernel = run_mode("kernel", algorithm, backend)
+        assert_byte_identical(kernel, scalar, f"{algorithm}/{backend}")
+
+    @pytest.mark.parametrize("algorithm", ["nm", "pm", "fm"])
+    def test_sharded_runs_identical(self, algorithm):
+        scalar = run_mode("scalar", algorithm, executor="sharded", workers=3)
+        kernel = run_mode("kernel", algorithm, executor="sharded", workers=3)
+        assert_byte_identical(kernel, scalar, algorithm)
+
+    def test_reuse_disabled_variant_identical(self):
+        """The NO-REUSE ablation exercises the kernel refinement path for
+        every candidate instead of the buffer: still byte-identical."""
+        scalar = run_mode("scalar", "nm", reuse_cells=False)
+        kernel = run_mode("kernel", "nm", reuse_cells=False)
+        assert_byte_identical(kernel, scalar, "nm/no-reuse")
+
+    def test_phi_pruning_disabled_variant_identical(self):
+        scalar = run_mode("scalar", "nm", use_phi_pruning=False)
+        kernel = run_mode("kernel", "nm", use_phi_pruning=False)
+        assert_byte_identical(kernel, scalar, "nm/no-phi")
+
+    def test_kernel_matches_brute_oracle(self):
+        oracle = set(run_mode("scalar", "brute").pairs)
+        for algorithm in ("nm", "pm", "fm"):
+            assert set(run_mode("kernel", algorithm).pairs) == oracle, algorithm
+
+
+class TestComputeModeResolution:
+    def test_env_default_selects_kernel(self, monkeypatch):
+        from repro.geometry.kernels import default_compute_mode
+
+        monkeypatch.setenv("REPRO_COMPUTE", "kernel")
+        assert default_compute_mode() == "kernel"
+        monkeypatch.setenv("REPRO_COMPUTE", "bogus")
+        with pytest.raises(ValueError):
+            default_compute_mode()
+
+    def test_engine_config_rejects_unknown_mode(self):
+        from repro.engine.config import EngineConfig
+
+        with pytest.raises(ValueError):
+            EngineConfig(compute="simd")
+
+    def test_env_driven_run_matches_explicit_kernel(self, monkeypatch):
+        explicit = run_mode("kernel", "nm")
+        monkeypatch.setenv("REPRO_COMPUTE", "kernel")
+        env_driven = run_cij("nm", POINTS_P, POINTS_Q, storage="memory")
+        assert_byte_identical(env_driven, explicit, "env-driven")

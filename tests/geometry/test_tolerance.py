@@ -1,0 +1,106 @@
+"""Regression tests for the unified numeric tolerance policy.
+
+Historically the geometry predicates used four independent epsilons
+(``1e-7`` in ``polygon.py``, ``1e-9`` in ``halfplane.py`` and
+``influence.py``, ``1e-6`` in ``dynamic/maintenance.py``).  The observable
+bug: a point within ``[1e-9, 1e-7]`` of a clip boundary was *outside* the
+halfplane according to ``Halfplane.contains`` yet *kept* by
+``ConvexPolygon.clip_halfplane`` — two predicates answering the same
+topological question differently.  All boundary predicates now share
+:data:`repro.geometry.tolerance.BOUNDARY_EPS` with the same normal-norm
+scaling, so a near-boundary point gets one consistent verdict everywhere.
+"""
+
+import math
+
+from repro.geometry.halfplane import Halfplane, bisector_halfplane
+from repro.geometry.point import Point
+from repro.geometry.polygon import ConvexPolygon
+from repro.geometry.tolerance import BOUNDARY_EPS, CONTAINMENT_EPS, TIE_SLACK
+
+#: Distance from the clip boundary chosen strictly between the two historic
+#: epsilons: far enough that the old 1e-9 halfplane test called the point
+#: outside, close enough that the 1e-7 clipping tolerance kept it.
+NEAR = 1e-8
+#: A distance clearly beyond the unified tolerance: everything must agree
+#: the point is outside.
+FAR = 1e-4
+
+#: The clip boundary x <= 5 (unit normal, so tolerances are in plain
+#: distance units).
+HP = Halfplane(1.0, 0.0, 5.0)
+
+
+def square(x0: float, x1: float, y0: float = 0.0, y1: float = 1.0) -> ConvexPolygon:
+    return ConvexPolygon(
+        [Point(x0, y0), Point(x1, y0), Point(x1, y1), Point(x0, y1)]
+    )
+
+
+class TestUnifiedBoundaryVerdict:
+    """One point near the boundary, one verdict from every predicate."""
+
+    def test_constants_are_ordered_by_looseness(self):
+        # containment (distance-vs-distance) < boundary (geometric) < tie
+        # slack (deliberately conservative); the regression distance sits
+        # inside the historic disagreement window.
+        assert CONTAINMENT_EPS < BOUNDARY_EPS < TIE_SLACK
+        assert CONTAINMENT_EPS < NEAR < BOUNDARY_EPS
+
+    def test_halfplane_contains_agrees_with_clipping_near_boundary(self):
+        p = Point(5.0 + NEAR, 0.5)
+        # Halfplane verdict: within tolerance of the boundary -> contained.
+        # (The historic 1e-9-scaled test said False here.)
+        assert HP.contains(p)
+        # Clipping verdict: a polygon vertex at the same signed distance
+        # survives the clip unchanged -> the clip also treats it as inside.
+        poly = square(4.0, 5.0 + NEAR)
+        clipped = poly.clip_halfplane(HP)
+        assert any(v.x == 5.0 + NEAR for v in clipped.vertices)
+
+    def test_halfplane_contains_agrees_with_clipping_far_outside(self):
+        p = Point(5.0 + FAR, 0.5)
+        assert not HP.contains(p)
+        clipped = square(4.0, 5.0 + FAR).clip_halfplane(HP)
+        assert p not in clipped.vertices
+        assert all(v.x <= 5.0 + BOUNDARY_EPS for v in clipped.vertices)
+
+    def test_sat_interior_agrees_near_boundary(self):
+        """The SAT tests see the same boundary: a polygon whose gap to
+        another is below the tolerance *touches* it (closed test True),
+        and the touching contact has zero area (open test False)."""
+        inside = square(4.0, 5.0)  # right edge exactly on the boundary
+        near = square(5.0 + NEAR, 5.5, 0.25, 0.75)  # NEAR beyond it
+        assert inside.intersects(near)
+        assert not inside.intersects_interior(near)
+
+    def test_sat_agrees_far_outside(self):
+        inside = square(4.0, 5.0)
+        far = square(5.0 + FAR, 5.5, 0.25, 0.75)
+        assert not inside.intersects(far)
+        assert not inside.intersects_interior(far)
+
+    def test_scaled_normals_get_the_same_geometric_tolerance(self):
+        """The verdict must not depend on the magnitude of the halfplane
+        coefficients: bisectors of nearby sites produce tiny normals,
+        rescaled halfplanes produce huge ones, and the tolerance is scaled
+        by the norm so both behave like the unit-normal case."""
+        p = Point(5.0 + NEAR, 0.5)
+        for scale in (1e-6, 1.0, 1e6):
+            scaled = Halfplane(HP.a * scale, HP.b * scale, HP.c * scale)
+            assert scaled.contains(p), scale
+            assert not scaled.contains(Point(5.0 + FAR, 0.5)), scale
+
+    def test_bisector_contains_matches_clip_of_domain(self):
+        """End to end on a real bisector: the halfplane verdict for a
+        near-boundary point matches whether clipping keeps that point."""
+        a, b = Point(100.0, 100.0), Point(300.0, 100.0)
+        hp = bisector_halfplane(a, b)  # boundary x = 200
+        norm = math.sqrt(hp.a * hp.a + hp.b * hp.b)
+        probe = Point(200.0 + NEAR, 150.0)
+        assert hp.contains(probe)
+        assert hp.value(probe) <= BOUNDARY_EPS * norm
+        cell = ConvexPolygon(
+            [Point(0.0, 0.0), Point(probe.x, 0.0), Point(probe.x, 200.0), Point(0.0, 200.0)]
+        ).clip_halfplane(hp)
+        assert any(v.x == probe.x for v in cell.vertices)

@@ -289,3 +289,33 @@ class TestDiskManagerIntegration:
         scheduler.request(pages[:2])
         disk.close()
         assert disk.storage_stats().prefetch_wasted == 2
+
+
+class TestLeafBatchPlannerWaste:
+    """Regression: the serial ``next_batch`` leaf planner must not strand
+    speculation at the end of the traversal.
+
+    Each leaf's plan is the leaf's own page plus a speculative candidate
+    set; mid-traversal, candidates the filter pruned are re-requested (and
+    consumed) by later batches, but the *final* planned batch has no
+    successor — its unread speculation used to sit in the staging area
+    until drain and show up as ``prefetch_wasted``.  The planner now
+    issues only the certainly-read leaf page with the final plan, so on a
+    fig8-shaped workload every prefetched page is consumed.
+    """
+
+    def test_fig8_shaped_run_wastes_no_prefetched_pages(self):
+        from repro.datasets.synthetic import uniform_points
+        from repro.experiments.drivers.common import run_cij
+
+        result = run_cij(
+            "nm",
+            uniform_points(400, seed=8),
+            uniform_points(400, seed=18),
+            storage="file",
+            prefetch="next_batch",
+        )
+        stats = result.storage
+        assert stats.pages_prefetched > 0
+        assert stats.prefetch_wasted == 0
+        assert stats.prefetch_hits == stats.pages_prefetched
