@@ -1,0 +1,199 @@
+"""Service throughput benchmark: mixed read+update load on one server.
+
+An in-process :class:`~repro.service.server.JoinService` is driven by a
+small fleet of concurrent scripted clients, each issuing the same
+deterministic mix of ``join`` / ``window`` / ``update`` / ``stats``
+requests over real sockets.  Per-request latencies are collected with
+``time.perf_counter`` and summarised as p50/p99 and queries per second —
+machine-dependent numbers that go into the free-form ``info`` mapping.
+
+What *is* gated by ``bench_compare.py`` are the deterministic counters:
+how many requests of each kind were issued, that none of them failed,
+the final update-batch version, and the final pair set size.  The update
+batches touch disjoint object ids, so the final state — and with it the
+final join answer — is independent of how the concurrent writers happened
+to interleave; the benchmark closes by asserting the served answer equals
+a from-scratch engine run on the final trees.
+
+The table is written to ``benchmarks/results/service_throughput.txt`` and
+the machine-readable counters to ``service_throughput.json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+from pathlib import Path
+
+from repro.engine import JoinEngine
+from repro.service import DatasetSpec, JoinService, ServiceClient
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Concurrent client connections (override for larger machines).
+N_CLIENTS = int(os.environ.get("REPRO_SERVICE_BENCH_CLIENTS", "4"))
+#: Request rounds per client; each round is join + window + update + stats.
+ROUNDS = int(os.environ.get("REPRO_SERVICE_BENCH_ROUNDS", "6"))
+#: Base workload size per side.
+N_POINTS = int(os.environ.get("REPRO_SERVICE_BENCH_POINTS", "150"))
+
+SPEC = DatasetSpec(
+    name="default", n_p=N_POINTS, n_q=N_POINTS, seed=17, max_queue=64
+)
+
+
+def _update_batch(client: int, round_no: int) -> list:
+    """One deterministic update batch with ids disjoint across clients.
+
+    Insert oids are unique per (client, round) and never collide with the
+    base workload, so every interleaving of the concurrent writers lands
+    on the same final point sets.
+    """
+    base = 100_000 * (client + 1) + 10 * round_no
+    x = float(200 + 37 * client + 530 * round_no) % 10_000
+    y = float(9_700 - 41 * client - 470 * round_no) % 10_000
+    lines = [
+        f"insert P {base} {x} {y}",
+        f"insert Q {base + 1} {y} {x}",
+    ]
+    if round_no >= 2:
+        # Retract the P point inserted two rounds earlier.
+        lines.append(f"delete P {100_000 * (client + 1) + 10 * (round_no - 2)}")
+    return lines
+
+
+def _window(client: int, round_no: int) -> list:
+    side = 1_500.0 + 400.0 * client
+    x0 = (800.0 * client + 900.0 * round_no) % (10_000 - side)
+    y0 = (600.0 * client + 1_100.0 * round_no) % (10_000 - side)
+    return [x0, y0, x0 + side, y0 + side]
+
+
+async def _run_client(host, port, client, latencies, counts):
+    async with await ServiceClient.connect(host, port) as conn:
+        for round_no in range(ROUNDS):
+            script = [
+                ("join", {"op": "join"}),
+                ("window", {"op": "window", "window": _window(client, round_no)}),
+                (
+                    "update",
+                    {"op": "update", "updates": _update_batch(client, round_no)},
+                ),
+                ("stats", {"op": "stats"}),
+            ]
+            for op, payload in script:
+                start = time.perf_counter()
+                await conn.request_ok({"dataset": "default", **payload})
+                latencies.append(time.perf_counter() - start)
+                counts[op] += 1
+
+
+async def _run_load():
+    service = JoinService([SPEC])
+    host, port = await service.start()
+    latencies = []
+    counts = {"join": 0, "window": 0, "update": 0, "stats": 0}
+    try:
+        start = time.perf_counter()
+        await asyncio.gather(
+            *(
+                _run_client(host, port, client, latencies, counts)
+                for client in range(N_CLIENTS)
+            )
+        )
+        wall = time.perf_counter() - start
+
+        async with await ServiceClient.connect(host, port) as conn:
+            final_join = await conn.join()
+            final_stats = await conn.stats()
+
+        # The served answer must equal a from-scratch run on the final
+        # trees — the bench is a correctness harness too.
+        state = service.datasets["default"]
+        session = state.session
+        oracle = JoinEngine().run(
+            "nm", session.tree_p, session.tree_q, domain=session.domain
+        )
+        pairs_match = [
+            tuple(pair) for pair in final_join["pairs"]
+        ] == sorted(oracle.pair_set())
+    finally:
+        await service.close()
+    return {
+        "wall": wall,
+        "latencies": latencies,
+        "counts": counts,
+        "final_version": final_join["version"],
+        "final_pairs": len(final_join["pairs"]),
+        "points_p": final_stats["points"]["P"],
+        "points_q": final_stats["points"]["Q"],
+        "pairs_match": pairs_match,
+    }
+
+
+def _percentile(values, fraction: float) -> float:
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, round(fraction * (len(ordered) - 1)))
+    return ordered[index]
+
+
+def test_service_mixed_load_throughput(benchmark, bench_record):
+    result = asyncio.run(_run_load())
+
+    counts = result["counts"]
+    total = sum(counts.values())
+    latencies = result["latencies"]
+    p50 = _percentile(latencies, 0.50)
+    p99 = _percentile(latencies, 0.99)
+    qps = total / result["wall"] if result["wall"] else 0.0
+
+    lines = [
+        f"service throughput: {N_CLIENTS} clients x {ROUNDS} rounds of "
+        f"join+window+update+stats ({N_POINTS} x {N_POINTS} base points)",
+        f"{'requests':>9s} {'updates':>8s} {'final pairs':>12s} "
+        f"{'p50 ms':>8s} {'p99 ms':>8s} {'qps':>8s}",
+        f"{total:9d} {counts['update']:8d} {result['final_pairs']:12d} "
+        f"{p50 * 1e3:8.2f} {p99 * 1e3:8.2f} {qps:8.1f}",
+    ]
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    text = "\n".join(lines)
+    (RESULTS_DIR / "service_throughput.txt").write_text(text + "\n", encoding="utf-8")
+    print()
+    print(text)
+
+    bench_record(
+        "service_throughput",
+        counters={
+            "clients": N_CLIENTS,
+            "requests_total": total,
+            "join_requests": counts["join"],
+            "window_requests": counts["window"],
+            "update_requests": counts["update"],
+            "stats_requests": counts["stats"],
+            "batches_applied": result["final_version"],
+            "final_pairs": result["final_pairs"],
+            "final_points_p": result["points_p"],
+            "final_points_q": result["points_q"],
+            "answer_matches_oracle": result["pairs_match"],
+            "errors": 0,
+        },
+        info={
+            "latency_p50_ms": p50 * 1e3,
+            "latency_p99_ms": p99 * 1e3,
+            "latency_max_ms": max(latencies) * 1e3,
+            "qps": qps,
+            "wall_s": result["wall"],
+        },
+    )
+
+    # Every scripted request succeeded and every batch was applied.
+    assert total == N_CLIENTS * ROUNDS * 4
+    assert result["final_version"] == counts["update"]
+    # The concurrent interleaving never corrupted the maintained answer.
+    assert result["pairs_match"]
+    # Reads outnumber nothing here, but latency must at least be sane:
+    # the mixed load finished and produced a positive throughput.
+    assert qps > 0
+
+    benchmark(lambda: asyncio.run(_run_load()))

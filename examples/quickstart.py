@@ -234,6 +234,53 @@ def main() -> None:
     print(f"equals a fresh rebuild: {session.pair_set() == check.pair_set()}")
     print()
 
+    print("=== Serving the join: python -m repro.cli serve ===")
+    # The same warm DynamicJoinSession can be owned by a long-running
+    # asyncio server and shared by many clients over newline-delimited
+    # JSON.  From a shell::
+    #
+    #     python -m repro.cli serve --port 8900 --storage file \
+    #         --storage-path /tmp/cij-pages
+    #
+    # then each line sent to the socket is one request: {"op": "join"},
+    # {"op": "window", "window": [x0, y0, x1, y1]} (a ConditionalFilter
+    # sub-rectangle descent), {"op": "update", "updates": ["insert P 900
+    # 4300 5200", ...]} (the delta-CIJ path; the response carries the
+    # exact pair delta), {"op": "stats"}, {"op": "subscribe"} (pushes a
+    # "delta" event line on every update).  Reads are served from an
+    # immutable snapshot while one writer per dataset applies batches, so
+    # concurrent clients always see a consistent version — every response
+    # is byte-equal to a serial replay (enforced by tests/service/).
+    import asyncio
+
+    from repro.service import DatasetSpec, JoinService, ServiceClient
+
+    async def serve_demo() -> None:
+        service = JoinService([DatasetSpec(n_p=200, n_q=200, seed=5)])
+        host, port = await service.start()
+        try:
+            async with await ServiceClient.connect(host, port) as conn:
+                await conn.subscribe()
+                joined = await conn.join()
+                print(f"served join           : version {joined['version']}, "
+                      f"{len(joined['pairs'])} pairs")
+                windowed = await conn.window([2000.0, 2000.0, 6000.0, 6000.0])
+                print(f"window [2000,6000]^2  : {len(windowed['pairs'])} pairs "
+                      f"whose common region meets the window")
+                updated = await conn.update(
+                    ["insert P 900 4300 5200", "insert Q 901 4350 5100"]
+                )
+                print(f"update batch          : version {updated['version']}, "
+                      f"+{len(updated['added'])} / -{len(updated['removed'])} pairs")
+                event = await conn.next_event()
+                print(f"streamed delta event  : {event['event']} "
+                      f"v{event['version']} (+{len(event['added'])})")
+        finally:
+            await service.close()
+
+    asyncio.run(serve_demo())
+    print()
+
     print("=== Why CIJ is not a distance join ===")
     # The smallest ε for which the ε-distance join contains the CIJ result
     # would have to reach the most distant CIJ pair — which can be huge —

@@ -161,6 +161,41 @@ def build_parser() -> argparse.ArgumentParser:
         "kernel (vectorised NumPy; identical pairs, stats and counters) "
         "(default: $REPRO_COMPUTE or scalar)",
     )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the long-lived join service (newline-delimited JSON over TCP)",
+        description="Serve concurrent join/window/update/stats requests from "
+        "a warm dynamic session per dataset; see repro.service for the "
+        "protocol.  Updates stream to subscribed connections as delta "
+        "events.",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=0, help="TCP port (0 picks a free one)"
+    )
+    serve.add_argument("--dataset", default="default", help="dataset name")
+    serve.add_argument("--n-p", type=int, default=200, help="points in P")
+    serve.add_argument("--n-q", type=int, default=200, help="points in Q")
+    serve.add_argument("--seed", type=int, default=0, help="random seed")
+    serve.add_argument(
+        "--storage",
+        default=None,
+        choices=("memory", "file", "sqlite"),
+        help="page-store backend (default: $REPRO_STORAGE or memory)",
+    )
+    serve.add_argument(
+        "--storage-path",
+        default=None,
+        help="backing file for --storage file|sqlite (default: owned temp file)",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=32,
+        help="queued-plus-running window/update operations per dataset "
+        "before requests are rejected as overloaded",
+    )
     return parser
 
 
@@ -358,6 +393,47 @@ def _cmd_join_with_updates(
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import DatasetSpec, JoinService
+
+    if args.max_queue < 1:
+        print(f"error: --max-queue must be at least 1 (got {args.max_queue})", file=sys.stderr)
+        return 2
+    spec = DatasetSpec(
+        name=args.dataset,
+        n_p=args.n_p,
+        n_q=args.n_q,
+        seed=args.seed,
+        storage=args.storage,
+        storage_path=args.storage_path,
+        max_queue=args.max_queue,
+    )
+
+    async def _run() -> None:
+        service = JoinService([spec])
+        host, port = await service.start(args.host, args.port)
+        state = service.datasets[spec.name]
+        print(f"serving on {host}:{port}", flush=True)
+        print(
+            f"dataset {spec.name!r}: |P|={state.snapshot.points_p} "
+            f"|Q|={state.snapshot.points_q} pairs={len(state.snapshot.pairs)} "
+            f"storage={state.workload.disk.storage_backend}",
+            flush=True,
+        )
+        try:
+            await service.serve_forever()
+        finally:
+            await service.close()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("shutting down")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point used by both ``python -m repro.cli`` and the ``cij`` script."""
     parser = build_parser()
@@ -368,6 +444,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args.experiment, args.scale)
     if args.command == "run-all":
         return _cmd_run_all(args.scale, args.markdown)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "join":
         workers = _validate_workers(parser, args)
         _validate_updates(parser, args)

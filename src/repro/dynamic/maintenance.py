@@ -48,6 +48,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro.dynamic.updates import PairDelta, Update, UpdateBatch, UpdateStats
 from repro.engine.config import EngineConfig
 from repro.geometry.point import Point, dist
+from repro.geometry.polygon import ConvexPolygon
 from repro.geometry.rect import Rect
 from repro.geometry.tolerance import TIE_SLACK
 from repro.index.rtree import RTree
@@ -88,11 +89,18 @@ class DynamicJoinSession:
         tree_q: RTree,
         domain: Optional[Rect] = None,
         config: Optional[EngineConfig] = None,
+        owns_disk: bool = False,
     ):
         if tree_p.disk is not tree_q.disk:
             raise ValueError("both input trees must share one DiskManager")
         self.tree_p = tree_p
         self.tree_q = tree_q
+        #: When True, :meth:`close` also closes the shared DiskManager
+        #: (and with it the file/sqlite page-store handles).  False by
+        #: default: sessions opened over a caller-built workload must not
+        #: pull the disk out from under it.
+        self.owns_disk = owns_disk
+        self._closed = False
         self.config = config if config is not None else EngineConfig()
         if self.config.executor != "serial":
             raise ValueError(
@@ -176,6 +184,8 @@ class DynamicJoinSession:
     # ------------------------------------------------------------------
     def apply_updates(self, batch: UpdateBatch) -> PairDelta:
         """Apply one batch and return the exact change to the join answer."""
+        if self._closed:
+            raise ValueError("the dynamic session is closed")
         if isinstance(batch, Update):
             batch = UpdateBatch([batch])
         batch_stats = UpdateStats(batches_applied=1, updates_applied=len(batch))
@@ -454,6 +464,85 @@ class DynamicJoinSession:
             self.pairs.discard(pair)
             added.discard(pair)
             removed.add(pair)
+
+    # ------------------------------------------------------------------
+    # windowed queries
+    # ------------------------------------------------------------------
+    def window_pairs(self, window: Rect) -> Set[Tuple[int, int]]:
+        """The join restricted to a window: pairs whose common influence
+        region meets ``window`` with positive area.
+
+        Candidates come from one ConditionalFilter sub-rectangle descent of
+        ``R_P`` with the window as the target polygon — complete, because a
+        qualifying pair's common region is contained in ``V(p)``, so
+        ``V(p)`` intersects the window and ``p`` is admitted.  Each
+        candidate then tests only its maintained partners.  Zero-area
+        contact with the window is excluded (open-set SAT), matching the
+        library-wide boundary-tie convention.
+        """
+        if self._closed:
+            raise ValueError("the dynamic session is closed")
+        result: Set[Tuple[int, int]] = set()
+        if not self.pairs or self.tree_p.is_empty():
+            return result
+        window_poly = ConvexPolygon.from_rect(window)
+        if window_poly.is_empty():
+            return result
+        with self.tree_p.disk.suspend_io_accounting():
+            candidates = batch_conditional_filter(
+                [window_poly],
+                self.tree_p,
+                self.domain,
+                use_phi_pruning=self.config.use_phi_pruning,
+                stats=self.filter_stats,
+            )
+        for p_oid, _ in candidates:
+            partners = self._partners_p.get(p_oid)
+            if not partners:
+                continue
+            cell_p = self.cells_p[p_oid]
+            for q_oid in partners:
+                region = cell_p.common_region(self.cells_q[q_oid])
+                if not region.is_empty() and region.intersects_interior(window_poly):
+                    result.add((p_oid, q_oid))
+        return result
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    def close(self) -> None:
+        """Release the maintained state; with ``owns_disk`` also the disk.
+
+        A long-running server cycles many sessions over the same storage
+        path — without an explicit close the old session keeps its trees,
+        diagrams, and (transitively) the backend's file/sqlite handles
+        alive until GC, which under load becomes real fd exhaustion.
+        Closing is idempotent; a closed session rejects further
+        :meth:`apply_updates`/:meth:`window_pairs`.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        disk = self.tree_p.disk if self.owns_disk else None
+        self.cells_p.clear()
+        self.cells_q.clear()
+        self._partners_p.clear()
+        self._partners_q.clear()
+        self._reaches = {"P": {}, "Q": {}}
+        self.pairs.clear()
+        if disk is not None:
+            disk.close()
+
+    def __enter__(self) -> "DynamicJoinSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # introspection

@@ -129,19 +129,23 @@ class JoinEngine:
             # so one run's mispredictions can never leak into the next.
             disk.enable_prefetch()
 
-        # --- MAT phase -------------------------------------------------
-        mat_start = time.perf_counter()
-        algo.prepare(ctx)
-        if algo.materialises:
-            stats.mat_cpu_seconds = time.perf_counter() - mat_start
-            stats.mat_page_accesses = disk.counters.diff(
-                ctx.start_counters
-            ).page_accesses
-            stats.record_progress(stats.mat_page_accesses, 0)
-
-        # --- JOIN phase ------------------------------------------------
-        join_start = time.perf_counter()
+        # The drain must cover the MAT phase too: FM's prepare already
+        # reads pages with prefetch attached, and an exception there used
+        # to skip the drain, leaving staged pages and a live fetch worker
+        # behind for the next run.
         try:
+            # --- MAT phase ---------------------------------------------
+            mat_start = time.perf_counter()
+            algo.prepare(ctx)
+            if algo.materialises:
+                stats.mat_cpu_seconds = time.perf_counter() - mat_start
+                stats.mat_page_accesses = disk.counters.diff(
+                    ctx.start_counters
+                ).page_accesses
+                stats.record_progress(stats.mat_page_accesses, 0)
+
+            # --- JOIN phase --------------------------------------------
+            join_start = time.perf_counter()
             pairs = executor.execute(algo, ctx)
         finally:
             if effective.prefetch != "off":
@@ -166,6 +170,7 @@ class JoinEngine:
         tree_p: RTree,
         tree_q: RTree,
         config: Optional[EngineConfig] = None,
+        owns_disk: bool = False,
         **overrides,
     ):
         """Open a :class:`~repro.dynamic.DynamicJoinSession` on two trees.
@@ -178,9 +183,14 @@ class JoinEngine:
         The engine keeps the session open (and its trees and diagrams
         alive) until the next :meth:`open_dynamic` or an explicit
         :meth:`close_dynamic` — on the shared :func:`default_engine` only
-        one session is current at a time (latest wins), so a caller
-        juggling several sessions should call ``session.apply_updates`` on
-        the objects directly.
+        one session is current at a time (latest wins, and the replaced
+        session is closed), so a caller juggling several sessions should
+        call ``session.apply_updates`` on the objects directly.
+
+        ``owns_disk=True`` transfers ownership of the trees' DiskManager
+        to the session: closing the session then also closes the backend
+        handles — what a long-running server wants when it builds the
+        workload solely for the session.
         """
         from repro.dynamic.maintenance import DynamicJoinSession
 
@@ -194,9 +204,15 @@ class JoinEngine:
                 "can be applied after a prefetched static join completes)"
             )
         session = DynamicJoinSession(
-            tree_p, tree_q, domain=effective.domain, config=effective
+            tree_p,
+            tree_q,
+            domain=effective.domain,
+            config=effective,
+            owns_disk=owns_disk,
         )
-        self._session = session
+        previous, self._session = self._session, session
+        if previous is not None and previous is not session:
+            previous.close()
         return session
 
     def apply_updates(self, batch):
@@ -214,9 +230,15 @@ class JoinEngine:
         return self._session.apply_updates(batch)
 
     def close_dynamic(self) -> None:
-        """Forget the open dynamic session (its resources become free to
-        collect once the caller drops its own reference)."""
-        self._session = None
+        """Close and forget the open dynamic session.
+
+        The session's maintained state is released immediately (and, if it
+        owns its disk, the backend handles with it) rather than waiting
+        for GC.  A no-op when no session is open.
+        """
+        session, self._session = self._session, None
+        if session is not None:
+            session.close()
 
     # ------------------------------------------------------------------
     def _resolve(self, algorithm: Union[str, JoinAlgorithm]) -> JoinAlgorithm:

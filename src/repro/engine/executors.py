@@ -265,22 +265,27 @@ class ShardedExecutor:
         )
         results = []
         carry: Optional[object] = None
-        for index, chunk in enumerate(chunks):
-            if dispatch_state is not None and index > 0:
+        try:
+            for index, chunk in enumerate(chunks):
+                if dispatch_state is not None and index > 0:
+                    ctx.disk.restore_buffer_state(dispatch_state)
+                if prefetcher is not None and index + 1 < len(chunks):
+                    # Stage the next shard's opening pages now: the backend's
+                    # worker thread fetches them while this shard computes.
+                    pages = algorithm.prefetch_pages(ctx, chunks[index + 1])
+                    if pages:
+                        prefetcher.request(pages)
+                result = _execute_shard(
+                    algorithm, ctx, chunk, index, carry=carry if handoff else None
+                )
+                carry = result.carry
+                results.append(result)
+        finally:
+            # Rewind even when a shard raises: the caller's drain then sees
+            # the dispatch-time buffer, not a half-executed shard's, and a
+            # follow-up run on the same disk starts from a known state.
+            if dispatch_state is not None:
                 ctx.disk.restore_buffer_state(dispatch_state)
-            if prefetcher is not None and index + 1 < len(chunks):
-                # Stage the next shard's opening pages now: the backend's
-                # worker thread fetches them while this shard computes.
-                pages = algorithm.prefetch_pages(ctx, chunks[index + 1])
-                if pages:
-                    prefetcher.request(pages)
-            result = _execute_shard(
-                algorithm, ctx, chunk, index, carry=carry if handoff else None
-            )
-            carry = result.carry
-            results.append(result)
-        if dispatch_state is not None:
-            ctx.disk.restore_buffer_state(dispatch_state)
         return results
 
     def _make_fork_pool(

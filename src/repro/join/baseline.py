@@ -19,6 +19,7 @@ from typing import Optional, Sequence, Set, Tuple
 
 from repro.geometry.point import Point, dist
 from repro.geometry.rect import Rect
+from repro.geometry.tolerance import TIE_SLACK
 from repro.join.result import CIJResult, JoinStats
 from repro.voronoi.diagram import brute_force_diagram
 
@@ -71,7 +72,10 @@ def definitional_cij_pairs(
         oids_q = list(range(len(points_q)))
     diagram_p = brute_force_diagram(points_p, domain, oids=oids_p)
     diagram_q = brute_force_diagram(points_q, domain, oids=oids_q)
-    tolerance = 1e-6
+    # The witness test compares two distances with a tie slack; like the
+    # dynamic invalidation scan it must use the library-wide constant, not
+    # a private epsilon (this literal escaped the PR 6 unification).
+    tolerance = TIE_SLACK
     result: Set[Tuple[int, int]] = set()
     for cell_p in diagram_p:
         for cell_q in diagram_q:

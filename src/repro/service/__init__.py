@@ -1,0 +1,40 @@
+"""A long-running concurrent join service over the persistent backends.
+
+ROADMAP item 2: the one-shot CLI becomes a server.  A
+:class:`~repro.service.server.JoinService` owns one warm
+:class:`~repro.dynamic.DynamicJoinSession` per dataset and serves
+concurrent clients over a newline-delimited JSON protocol — ``join``
+(the full maintained pair set), ``window`` (region-restricted join via a
+ConditionalFilter sub-rectangle descent), ``update`` (a batch through
+the delta-CIJ path, streamed to subscribers), and ``stats``.
+
+Concurrency story (see :mod:`repro.service.server` for details): every
+mutation and every tree-reading query of a dataset runs on that
+dataset's single worker thread behind a bounded admission queue, while
+``join``/``stats`` are answered on the event loop from an immutable
+published snapshot — readers never wait on the writer, and every
+response is byte-reproducible from the request's recorded version.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    ServiceError,
+    canonical_json,
+    decode_line,
+    encode_line,
+    pairs_payload,
+)
+from repro.service.server import DatasetSpec, JoinService
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ServiceError",
+    "canonical_json",
+    "decode_line",
+    "encode_line",
+    "pairs_payload",
+    "DatasetSpec",
+    "JoinService",
+    "ServiceClient",
+]

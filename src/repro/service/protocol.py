@@ -1,0 +1,119 @@
+"""Wire protocol of the join service: newline-delimited canonical JSON.
+
+One request per line, one response per line, plus asynchronous ``event``
+lines for subscribers.  Every line the server emits is *canonical* JSON —
+sorted keys, no whitespace — so a response is a deterministic function of
+its content: the differential suite replays a recorded request order
+against a fresh serial session and compares the raw bytes.
+
+Requests
+--------
+``{"op": "join", "dataset": "d", "id": 7}``
+    The full maintained pair set (served from the current snapshot).
+``{"op": "window", "dataset": "d", "window": [x0, y0, x1, y1]}``
+    Pairs whose common influence region meets the window with positive
+    area (a ConditionalFilter sub-rectangle descent on the worker).
+``{"op": "update", "dataset": "d", "updates": ["insert P 7 1.0 2.0", ...]}``
+    One batch in the :mod:`repro.dynamic.updates` line format, applied
+    through the delta-CIJ path; the response carries the pair delta.
+``{"op": "stats", "dataset": "d"}``
+    Accumulated :class:`~repro.dynamic.updates.UpdateStats` plus the
+    disk's ``storage_stats()`` counters.
+``{"op": "subscribe", "dataset": "d"}``
+    Register this connection for ``delta`` events on every update.
+
+``id`` is optional and echoed verbatim; clients use it to match
+pipelined responses.
+
+Responses
+---------
+``{"ok": true, "op": ..., "version": N, ...}`` on success.  ``version``
+is the dataset's update-batch count at the moment the answer was
+computed — the replay key.  Failures are loud and structured::
+
+    {"ok": false, "error": {"code": "overloaded", "message": "..."}}
+
+Error codes: ``bad_request``, ``unknown_dataset``, ``update_rejected``,
+``overloaded``, ``internal``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+#: Bumped on incompatible wire changes; echoed in every ``hello`` event.
+PROTOCOL_VERSION = 1
+
+#: Ops a request may carry.
+REQUEST_OPS = ("join", "window", "update", "stats", "subscribe")
+
+#: The maximum accepted request line (bytes).  A batch of ~30 bytes per
+#: update line makes this tens of thousands of updates — far beyond what
+#: one delta-CIJ batch is for — while bounding a hostile client's memory.
+MAX_LINE_BYTES = 1 << 20
+
+
+class ServiceError(Exception):
+    """A structured, client-visible failure."""
+
+    def __init__(self, message: str, code: str = "internal"):
+        super().__init__(message)
+        self.code = code
+
+
+def canonical_json(payload: Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace, pure ASCII."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    )
+
+
+def encode_line(payload: Any) -> bytes:
+    """One canonical wire line, newline-terminated."""
+    return canonical_json(payload).encode("utf-8") + b"\n"
+
+
+def decode_line(line: bytes) -> Dict[str, Any]:
+    """Parse one request line into a JSON object (dict)."""
+    if len(line) > MAX_LINE_BYTES:
+        raise ServiceError(
+            f"request line exceeds {MAX_LINE_BYTES} bytes", code="bad_request"
+        )
+    try:
+        payload = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ServiceError(f"not valid JSON: {error}", code="bad_request") from None
+    if not isinstance(payload, dict):
+        raise ServiceError(
+            f"a request must be a JSON object, got {type(payload).__name__}",
+            code="bad_request",
+        )
+    return payload
+
+
+def pairs_payload(pairs: Iterable[Tuple[int, int]]) -> List[List[int]]:
+    """The canonical wire form of a pair set: sorted ``[p, q]`` lists."""
+    return [[p, q] for p, q in sorted(pairs)]
+
+
+def ok_response(
+    op: str, request_id: Optional[Any], body: Dict[str, Any]
+) -> Dict[str, Any]:
+    response: Dict[str, Any] = {"ok": True, "op": op}
+    if request_id is not None:
+        response["id"] = request_id
+    response.update(body)
+    return response
+
+
+def error_response(
+    request_id: Optional[Any], code: str, message: str
+) -> Dict[str, Any]:
+    response: Dict[str, Any] = {
+        "ok": False,
+        "error": {"code": code, "message": message},
+    }
+    if request_id is not None:
+        response["id"] = request_id
+    return response

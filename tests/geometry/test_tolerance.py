@@ -12,7 +12,11 @@ scaling, so a near-boundary point gets one consistent verdict everywhere.
 """
 
 import math
+import pathlib
+import re
+import tokenize
 
+import repro
 from repro.geometry.halfplane import Halfplane, bisector_halfplane
 from repro.geometry.point import Point
 from repro.geometry.polygon import ConvexPolygon
@@ -104,3 +108,56 @@ class TestUnifiedBoundaryVerdict:
             [Point(0.0, 0.0), Point(probe.x, 0.0), Point(probe.x, 200.0), Point(0.0, 200.0)]
         ).clip_halfplane(hp)
         assert any(v.x == probe.x for v in cell.vertices)
+
+
+#: A float literal written in scientific notation with a negative exponent
+#: (``1e-6``, ``2.5E-9``, ...) — the shape every historic private epsilon
+#: took.  Plain decimals like ``0.5`` or ``10.0`` are workload parameters,
+#: not tolerances, and are not matched.
+EPSILON_LITERAL = re.compile(r"^\d+(?:\.\d+)?[eE]-\d+$")
+
+
+class TestToleranceUnificationStaysUnified:
+    """Source scan: ``tolerance.py`` is the only module defining epsilons.
+
+    PR 6 folded four independent epsilons into
+    ``repro.geometry.tolerance``; a fifth (``tolerance = 1e-6`` in
+    ``join/baseline.py``) escaped that sweep and was only caught in review.
+    This scan makes the unification self-enforcing: any new
+    negative-exponent literal anywhere in ``src/repro`` outside
+    ``tolerance.py`` fails the suite with a pointer here.  The scan uses
+    ``tokenize`` so literals quoted in comments and docstrings (for
+    example the history recounted in ``halfplane.py``) do not trip it —
+    only real NUMBER tokens count.
+    """
+
+    def _scan(self):
+        package_root = pathlib.Path(repro.__file__).resolve().parent
+        offenders = []
+        for source in sorted(package_root.rglob("*.py")):
+            with tokenize.open(source) as handle:
+                for tok in tokenize.generate_tokens(handle.readline):
+                    if tok.type == tokenize.NUMBER and EPSILON_LITERAL.match(tok.string):
+                        offenders.append(
+                            (source.relative_to(package_root).as_posix(), tok.start[0], tok.string)
+                        )
+        return offenders
+
+    def test_only_tolerance_module_defines_epsilon_literals(self):
+        outside = [o for o in self._scan() if o[0] != "geometry/tolerance.py"]
+        assert not outside, (
+            "epsilon literals outside repro.geometry.tolerance — import "
+            "BOUNDARY_EPS / CONTAINMENT_EPS / TIE_SLACK instead of "
+            f"hardcoding: {outside}"
+        )
+
+    def test_scan_still_sees_the_canonical_definitions(self):
+        """Guard the guard: if the tokenizer walk or the regex rot, the
+        scan would pass vacuously — so pin that it finds the three
+        canonical definitions in ``tolerance.py`` itself."""
+        canonical = {
+            (line, text)
+            for path, line, text in self._scan()
+            if path == "geometry/tolerance.py"
+        }
+        assert {text for _, text in canonical} == {"1e-7", "1e-9", "1e-6"}

@@ -319,3 +319,145 @@ class TestLeafBatchPlannerWaste:
         assert stats.pages_prefetched > 0
         assert stats.prefetch_wasted == 0
         assert stats.prefetch_hits == stats.pages_prefetched
+
+
+from repro.engine.algorithms import JoinAlgorithm
+
+
+class _FailingPrepare(JoinAlgorithm):
+    """A materialising algorithm whose MAT phase dies after staging pages.
+
+    Mimics FM's prepare — which reads (and with prefetch attached, stages)
+    pages before the executor ever starts — so an exception here exercises
+    the drain on the engine's MAT error path.
+    """
+
+    name = "failing-prepare"
+    display_name = "FAILING-PREPARE"
+    materialises = True
+    supports_sharding = False
+    supports_handoff = False
+
+    def __init__(self):
+        self.staged = 0
+
+    def prepare(self, ctx):
+        scheduler = ctx.disk.prefetcher
+        assert scheduler is not None, "engine.run must attach prefetch first"
+        self.staged = scheduler.request(ctx.disk.store.page_ids()[:6])
+        assert self.staged > 0
+        raise RuntimeError("injected MAT failure")
+
+
+def _make_failing_nm(fail_on_call):
+    from repro.engine.algorithms import NMJoin
+
+    class _FailingNM(NMJoin):
+        """NM whose unit pipeline dies on its ``fail_on_call``-th shard."""
+
+        calls = 0
+
+        def process_units(self, ctx, units):
+            type(self).calls += 1
+            if type(self).calls == fail_on_call:
+                for _ in zip(units, range(1)):
+                    pass  # consume one unit: the failure is mid-stream
+                raise RuntimeError("injected shard failure")
+            return super().process_units(ctx, units)
+
+    return _FailingNM()
+
+
+class TestErrorPathCleanup:
+    """A run that dies mid-flight must leave the disk as a finished run
+    would: nothing staged (unconsumed speculation charged as wasted), the
+    buffer rewound, and the backend's private prefetch handles closed once
+    the disk closes — regressions here only surface as fd exhaustion and
+    cross-run counter corruption in a long-running server."""
+
+    def _workload(self, tmp_path, storage):
+        from repro.datasets.workload import WorkloadConfig, build_workload
+
+        path = str(tmp_path / f"pages.{storage}") if storage != "memory" else None
+        return build_workload(
+            WorkloadConfig(n_p=120, n_q=120, seed=9, storage=storage, storage_path=path)
+        )
+
+    @pytest.mark.parametrize("storage", ["file", "sqlite"])
+    def test_mat_phase_failure_still_drains(self, storage, tmp_path):
+        from repro.engine import JoinEngine
+
+        workload = self._workload(tmp_path, storage)
+        with workload:
+            engine = JoinEngine()
+            algorithm = _FailingPrepare()
+            with pytest.raises(RuntimeError, match="injected MAT"):
+                engine.run(
+                    algorithm,
+                    workload.tree_p,
+                    workload.tree_q,
+                    prefetch="next_batch",
+                )
+            scheduler = workload.disk.prefetcher
+            assert scheduler is not None
+            assert scheduler.staged_pages == []
+            assert workload.disk.storage_stats().prefetch_wasted == algorithm.staged
+
+    @pytest.mark.parametrize("storage", ["file", "sqlite"])
+    def test_shard_failure_drains_and_next_run_is_clean(self, storage, tmp_path):
+        from repro.engine import JoinEngine
+
+        workload = self._workload(tmp_path, storage)
+        with workload:
+            engine = JoinEngine()
+            # Four inline shards; the second dies after staging the third's
+            # pages, so speculation is in flight at the moment of failure.
+            with pytest.raises(RuntimeError, match="injected shard"):
+                engine.run(
+                    _make_failing_nm(fail_on_call=2),
+                    workload.tree_p,
+                    workload.tree_q,
+                    executor="sharded",
+                    workers=4,
+                    pool="inline",
+                    prefetch="next_shard",
+                )
+            assert workload.disk.prefetcher.staged_pages == []
+            assert workload.disk.storage_stats().prefetch_wasted > 0
+
+            # The failed run left no residue: a measured follow-up run on
+            # the same disk matches a fresh workload bit for bit.
+            workload.reset_measurement()
+            again = engine.run("nm", workload.tree_p, workload.tree_q)
+            fresh_dir = tmp_path / "fresh"
+            fresh_dir.mkdir()
+            fresh_workload = self._workload(fresh_dir, storage)
+            with fresh_workload:
+                fresh = JoinEngine().run(
+                    "nm", fresh_workload.tree_p, fresh_workload.tree_q
+                )
+            assert again.pair_set() == fresh.pair_set()
+            assert again.stats.total_page_accesses == fresh.stats.total_page_accesses
+
+    def test_failure_then_close_releases_prefetch_worker_and_handle(self, tmp_path):
+        """After a mid-run failure, closing the workload must still shut
+        the ThreadedPageFetch worker down and close the store's private
+        ``rb`` handle — the leak the server's crash recovery would hit."""
+        from repro.engine import JoinEngine
+
+        workload = self._workload(tmp_path, "file")
+        store = workload.disk.store
+        with workload:
+            with pytest.raises(RuntimeError, match="injected shard"):
+                JoinEngine().run(
+                    _make_failing_nm(fail_on_call=1),
+                    workload.tree_p,
+                    workload.tree_q,
+                    executor="sharded",
+                    workers=4,
+                    pool="inline",
+                    prefetch="next_shard",
+                )
+        assert store._async._pool is None
+        assert store._prefetch_handle is None or store._prefetch_handle.closed
+        assert store._file.closed
