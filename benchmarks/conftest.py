@@ -24,6 +24,13 @@ Only *deterministic* values belong in rows/counters; machine-dependent
 measurements (wall clocks, stall seconds) go into the free-form ``info``
 mapping, which the comparison script ignores.
 
+The *committed* artefacts under ``benchmarks/results/`` carry only those
+deterministic values: timing columns and the ``info`` mapping are split
+off into an untracked sidecar under ``benchmarks/results/local/``
+(gitignored) together with the human-readable ``.txt`` tables, so
+re-running the suite leaves ``git status`` clean unless a gated counter
+actually changed.
+
 Scale is controlled by the ``REPRO_BENCH_SCALE`` environment variable
 (``tiny`` by default so the whole suite completes in a few minutes; use
 ``small`` or ``medium`` to approach the shapes reported in EXPERIMENTS.md).
@@ -37,10 +44,14 @@ from pathlib import Path
 
 import pytest
 
+from bench_compare import is_timing_column
 from repro.experiments import run_experiment
 
 BENCH_DIR = Path(__file__).parent
 RESULTS_DIR = BENCH_DIR / "results"
+#: Untracked sidecar for machine-dependent output: full documents with
+#: their timing columns and ``info`` mappings, plus the ``.txt`` tables.
+LOCAL_DIR = RESULTS_DIR / "local"
 
 
 def pytest_collection_modifyitems(items):
@@ -58,12 +69,44 @@ def pytest_collection_modifyitems(items):
 BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "tiny")
 
 
+def _deterministic_view(document: dict) -> dict:
+    """The committed projection of a document: gated values only.
+
+    Tables lose their timing columns, counters documents lose ``info`` —
+    exactly the values ``bench_compare`` never gates, so the projection
+    changes nothing about the baseline comparison while keeping
+    machine-dependent churn out of the tracked tree.
+    """
+    slim = dict(document)
+    if document.get("kind") == "counters":
+        slim.pop("info", None)
+        return slim
+    columns = document.get("columns", [])
+    keep = [i for i, column in enumerate(columns) if not is_timing_column(column)]
+    if len(keep) == len(columns):
+        return slim
+    slim["columns"] = [columns[i] for i in keep]
+    slim["rows"] = [
+        [row[i] for i in keep if i < len(row)] for row in document.get("rows", [])
+    ]
+    return slim
+
+
 def write_result_json(name: str, document: dict) -> Path:
-    """Persist one machine-readable artefact under ``benchmarks/results/``."""
-    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    """Persist one machine-readable artefact under ``benchmarks/results/``.
+
+    The tracked file carries only the deterministic values; the full
+    document (timings and ``info`` included) goes to the untracked
+    ``results/local/`` sidecar.
+    """
+    LOCAL_DIR.mkdir(parents=True, exist_ok=True)
+    (LOCAL_DIR / f"{name}.json").write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
     path = RESULTS_DIR / f"{name}.json"
     path.write_text(
-        json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        json.dumps(_deterministic_view(document), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
     )
     return path
 
@@ -77,14 +120,15 @@ def bench_scale() -> str:
 @pytest.fixture(scope="session")
 def experiment_runner():
     """Run an experiment once per session and persist its rendered table
-    (``.txt`` for humans, ``.json`` for the CI baseline gate)."""
+    (``.txt`` for humans under ``results/local/``, ``.json`` for the CI
+    baseline gate)."""
     cache = {}
 
     def run(experiment_id: str):
         if experiment_id not in cache:
             result = run_experiment(experiment_id, scale=BENCH_SCALE)
-            RESULTS_DIR.mkdir(parents=True, exist_ok=True)
-            path = RESULTS_DIR / f"{experiment_id}.txt"
+            LOCAL_DIR.mkdir(parents=True, exist_ok=True)
+            path = LOCAL_DIR / f"{experiment_id}.txt"
             path.write_text(result.to_text() + "\n", encoding="utf-8")
             write_result_json(
                 experiment_id,

@@ -9,7 +9,7 @@ For a range of update-batch sizes the same stream is absorbed twice:
 * **rebuild** — after every batch the join is recomputed from scratch,
   which recomputes the cells of *every* live point.
 
-The table written to ``benchmarks/results/dynamic_updates.txt`` reports
+The table written to ``benchmarks/results/local/dynamic_updates.txt`` reports
 both, and the test asserts the paper-style claim: for small batches the
 incremental path performs measurably fewer cell computations than the
 rebuild (and never returns a different answer — the differential suite in
@@ -31,7 +31,8 @@ from repro.datasets.workload import (
 )
 from repro.engine import JoinEngine
 
-RESULTS_DIR = Path(__file__).parent / "results"
+# .txt tables carry wall clocks -> untracked sidecar (see conftest.py).
+RESULTS_DIR = Path(__file__).parent / "results" / "local"
 
 #: Points per side of the base workload (override for larger machines).
 N_POINTS = int(os.environ.get("REPRO_DYNAMIC_BENCH_POINTS", "400"))

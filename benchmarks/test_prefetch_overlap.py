@@ -12,7 +12,7 @@ latency, and measures how much of that latency the prefetch pipeline hides:
 * ``prefetch=next_shard`` — the sharded executor (inline pool) stages the
   next shard's opening pages while the current shard runs.
 
-The table written to ``benchmarks/results/prefetch.txt`` reports stalled
+The table written to ``benchmarks/results/local/prefetch.txt`` reports stalled
 vs overlapped milliseconds per mode; ``prefetch.json`` records the
 deterministic counters for the CI baseline gate.  The invariant asserted
 alongside the latency claim: pairs and logical page accounting are
@@ -27,7 +27,8 @@ from pathlib import Path
 from repro.datasets.synthetic import uniform_points
 from repro.experiments.drivers.common import run_cij
 
-RESULTS_DIR = Path(__file__).parent / "results"
+# .txt tables carry wall clocks -> untracked sidecar (see conftest.py).
+RESULTS_DIR = Path(__file__).parent / "results" / "local"
 
 N_POINTS = int(os.environ.get("REPRO_PREFETCH_BENCH_POINTS", "400"))
 #: Simulated per-page disk service time (seconds): ~2ms, a fast HDD seek

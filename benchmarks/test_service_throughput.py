@@ -15,7 +15,7 @@ final join answer — is independent of how the concurrent writers happened
 to interleave; the benchmark closes by asserting the served answer equals
 a from-scratch engine run on the final trees.
 
-The table is written to ``benchmarks/results/service_throughput.txt`` and
+The table is written to ``benchmarks/results/local/service_throughput.txt`` and
 the machine-readable counters to ``service_throughput.json``.
 """
 
@@ -29,7 +29,8 @@ from pathlib import Path
 from repro.engine import JoinEngine
 from repro.service import DatasetSpec, JoinService, ServiceClient
 
-RESULTS_DIR = Path(__file__).parent / "results"
+# .txt tables carry wall clocks -> untracked sidecar (see conftest.py).
+RESULTS_DIR = Path(__file__).parent / "results" / "local"
 
 #: Concurrent client connections (override for larger machines).
 N_CLIENTS = int(os.environ.get("REPRO_SERVICE_BENCH_CLIENTS", "4"))

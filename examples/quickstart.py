@@ -102,6 +102,42 @@ def main() -> None:
           f"handoff {handoff.stats.cells_computed_p} (equal again)")
     print()
 
+    print("=== Distributed quickstart: coordinator + node subprocesses ===")
+    # executor="distributed" runs the same work units on separate node
+    # interpreters (python -m repro.engine.node): the coordinator hands
+    # units out on demand over an NDJSON pipe protocol — a worker stuck on
+    # an expensive unit simply stops pulling while the others drain the
+    # queue — and each node reopens the run's on-disk backend read-only
+    # (so storage="file" or "sqlite" is required; memory is rejected).
+    # Results merge in unit order: pairs, JoinStats and the deterministic
+    # counters are byte-identical to the serial run, REUSE accounting
+    # included (the distributed NM chains the handoff by default).
+    dist_workload = build_workload(
+        WorkloadConfig(storage="file"), points_p=restaurants, points_q=cinemas
+    )
+    with dist_workload:
+        distributed = engine.run(
+            "nm",
+            dist_workload.tree_p,
+            dist_workload.tree_q,
+            EngineConfig(executor="distributed", nodes=2, storage="file"),
+            domain=dist_workload.domain,
+        )
+    trace = engine.last_executor.last_assignments
+    print(f"distributed NM pairs  : {len(distributed.pairs)} "
+          f"(identical to serial: {distributed.pairs == result.pairs})")
+    print(f"P-cells recomputed    : serial {result.stats.cells_computed_p}, "
+          f"distributed {distributed.stats.cells_computed_p} (equal)")
+    print(f"units per node        : "
+          + ", ".join(f"{node} -> {len(ids)}" for node, ids in sorted(trace.items())))
+    # NM's chained handoff serializes the handout (unit k+1 waits for unit
+    # k's REUSE carry), so one node may well serve most units here; run a
+    # carry-free method (pm/fm) or reuse_handoff="never" to see the pull
+    # loop spread units across nodes.
+    # From a shell, the same run is:
+    #     python -m repro.cli join --storage file --executor distributed --nodes 2
+    print()
+
     # Boundary ties: a pair joins only when the two influence regions
     # overlap with positive area.  Cells that merely touch (zero-area
     # contact, e.g. exactly colinear bisectors) are excluded — by the

@@ -104,6 +104,7 @@ def common_influence_join(
     page_size: int = 1024,
     executor: str = "serial",
     workers: int = 2,
+    nodes: int = 2,
     reuse_handoff: str = "auto",
     storage: Optional[str] = None,
     storage_path: Optional[str] = None,
@@ -132,12 +133,16 @@ def common_influence_join(
         to cover the data if necessary.
     buffer_fraction, page_size:
         Storage parameters (paper defaults: 2 % LRU buffer, 1 KB pages).
-    executor, workers:
-        Execution strategy: ``"serial"`` (default) or ``"sharded"``, which
-        splits the join across ``workers`` parallel processes — Hilbert-
-        contiguous leaf shards of ``Q`` for NM-CIJ/PM-CIJ, top-level
-        ``R'_P`` partitions of the synchronous traversal for FM-CIJ.
-        Every CIJ variant shards; only the brute-force oracle does not.
+    executor, workers, nodes:
+        Execution strategy: ``"serial"`` (default), ``"sharded"`` — the
+        join's work units (Hilbert-ordered ``R_Q`` leaves for NM-CIJ/
+        PM-CIJ, top-level ``R'_P`` partitions of the synchronous traversal
+        for FM-CIJ) pulled by ``workers`` local processes — or
+        ``"distributed"``, the same units pulled by ``nodes`` worker
+        subprocesses that reopen the shared on-disk backend read-only
+        (requires ``storage="file"`` or ``"sqlite"``).  Every CIJ variant
+        shards; only the brute-force oracle does not.  Merged pairs and
+        deterministic counters are byte-identical across executors.
     reuse_handoff:
         Whether a sharded NM-CIJ hands its REUSE buffer across shard
         boundaries (``"auto"``/``"always"``/``"never"``; see
@@ -193,6 +198,7 @@ def common_influence_join(
             domain=domain,
             executor=executor,
             workers=workers,
+            nodes=nodes,
             reuse_handoff=reuse_handoff,
             storage=storage,
             storage_path=storage_path,

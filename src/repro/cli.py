@@ -29,6 +29,12 @@ across shard boundaries exactly like the serial run::
 
     python -m repro.cli join --executor sharded --workers 4 --reuse-handoff always
 
+Distributed join: the same work units pulled over NDJSON by two node
+subprocesses that reopen the shared on-disk backend read-only (needs
+--storage file or sqlite; merged output is byte-identical to serial)::
+
+    python -m repro.cli join --n-p 500 --n-q 500 --storage file --executor distributed --nodes 2
+
 Same join with pages stored in (and read back from) a real file::
 
     python -m repro.cli join --n-p 500 --n-q 500 --storage file
@@ -90,9 +96,11 @@ def build_parser() -> argparse.ArgumentParser:
     join.add_argument(
         "--executor",
         default="serial",
-        choices=("serial", "sharded"),
-        help="engine executor: serial (paper semantics) or sharded "
-        "(R_Q leaves for nm/pm, top-level R'_P partitions for fm)",
+        choices=("serial", "sharded", "distributed"),
+        help="engine executor: serial (paper semantics), sharded "
+        "(R_Q leaves for nm/pm, top-level R'_P partitions for fm, local "
+        "workers), or distributed (the same units pulled by node "
+        "subprocesses over the shared file/sqlite backend)",
     )
     join.add_argument(
         "--workers",
@@ -100,6 +108,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="shards / worker processes for the sharded executor (default 2; "
         "only valid with --executor sharded)",
+    )
+    join.add_argument(
+        "--nodes",
+        type=int,
+        default=None,
+        help="worker subprocesses for the distributed executor (default 2; "
+        "only valid with --executor distributed)",
     )
     join.add_argument(
         "--reuse-handoff",
@@ -244,6 +259,30 @@ def _validate_workers(parser: argparse.ArgumentParser, args: argparse.Namespace)
     return args.workers if args.workers is not None else 2
 
 
+def _validate_nodes(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    """Resolve and validate the --nodes/--executor/--method combination.
+
+    ``--nodes`` only means something to the distributed executor, and the
+    distributed executor only runs algorithms that shard — both
+    contradictions are rejected loudly instead of being ignored.
+    """
+    if args.nodes is not None and args.nodes < 1:
+        parser.error(f"--nodes must be at least 1 (got {args.nodes})")
+    if args.executor != "distributed" and args.nodes is not None:
+        parser.error(
+            f"--nodes {args.nodes} has no effect with --executor "
+            f"{args.executor}; use --executor distributed to run units on "
+            "node subprocesses"
+        )
+    if args.executor == "distributed" and args.method == "brute":
+        parser.error(
+            "--executor distributed cannot run --method brute: the oracle "
+            "baseline does not shard into work units (use --method nm|pm|fm, "
+            "or --executor serial for brute)"
+        )
+    return args.nodes if args.nodes is not None else 2
+
+
 def _validate_updates(parser: argparse.ArgumentParser, args: argparse.Namespace) -> None:
     """Reject executor/handoff combinations that contradict ``--updates``.
 
@@ -280,6 +319,7 @@ def _cmd_join(
     method: str,
     executor: str,
     workers: int,
+    nodes: int,
     reuse_handoff: str,
     storage: Optional[str],
     storage_path: Optional[str],
@@ -300,6 +340,7 @@ def _cmd_join(
             method=method,
             executor=executor,
             workers=workers,
+            nodes=nodes,
             reuse_handoff=reuse_handoff,
             storage=storage,
             storage_path=storage_path,
@@ -313,7 +354,9 @@ def _cmd_join(
         return 2
     stats = result.stats
     print(f"algorithm       : {stats.algorithm}")
-    if executor != "serial":
+    if executor == "distributed":
+        print(f"executor        : {executor} ({nodes} nodes)")
+    elif executor != "serial":
         print(f"executor        : {executor} ({workers} workers)")
     if storage is not None:
         where = f" at {storage_path}" if storage_path else ""
@@ -448,6 +491,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_serve(args)
     if args.command == "join":
         workers = _validate_workers(parser, args)
+        nodes = _validate_nodes(parser, args)
         _validate_updates(parser, args)
         return _cmd_join(
             args.n_p,
@@ -456,6 +500,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.method,
             args.executor,
             workers,
+            nodes,
             args.reuse_handoff if args.reuse_handoff is not None else "auto",
             args.storage,
             args.storage_path,

@@ -9,14 +9,20 @@ One entry point for every CIJ variant and the brute-force baseline::
     result = engine.run("nm", tree_p, tree_q,
                         executor="sharded", workers=4)             # parallel
 
-The serial executor preserves the paper's single-threaded semantics; the
-sharded executor partitions the algorithm's shard units — ``R_Q``'s
+The serial executor preserves the paper's single-threaded semantics.  The
+sharded and distributed executors enumerate the algorithm's
+:class:`~repro.engine.units.WorkUnit` descriptors — ``R_Q``'s
 Hilbert-ordered leaves for NM/PM, top-level ``R'_P`` partitions of the
-synchronous traversal for FM — across ``multiprocessing`` workers and
-merges pairs and statistics deterministically (see
-:mod:`repro.engine.executors` for the correctness argument).  A sharded
-NM-CIJ can additionally hand its REUSE buffer across shard boundaries
-(``EngineConfig.reuse_handoff``), restoring the serial cell-reuse chain.
+synchronous traversal for FM — and hand them out through the pull-based
+:class:`~repro.engine.coordinator.UnitCoordinator`: local
+``multiprocessing`` workers for ``"sharded"``, node subprocesses speaking
+the NDJSON unit protocol over a shared on-disk backend for
+``"distributed"`` (:mod:`repro.engine.node`).  Results are merged in unit
+index order, so pairs and statistics are deterministic and byte-identical
+to serial whatever the assignment (see :mod:`repro.engine.executors` for
+the correctness argument).  A sharded or distributed NM-CIJ can hand its
+REUSE buffer across unit boundaries (``EngineConfig.reuse_handoff``),
+restoring the serial cell-reuse chain as a unit pipeline.
 ``EngineConfig.prefetch`` overlaps upcoming batches' (or shards') page
 reads with the current batch's Voronoi computation through the disk's
 async fetch pipeline (:mod:`repro.storage.prefetch`) without changing the
@@ -35,13 +41,16 @@ from repro.engine.algorithms import (
     default_algorithms,
 )
 from repro.engine.config import EngineConfig
+from repro.engine.coordinator import Assignment, UnitCoordinator
 from repro.engine.core import JoinEngine, default_engine
 from repro.engine.executors import (
+    DistributedExecutor,
     SerialExecutor,
     ShardedExecutor,
     ShardResult,
     executor_for,
 )
+from repro.engine.units import WorkUnit
 
 __all__ = [
     "EngineConfig",
@@ -54,7 +63,11 @@ __all__ = [
     "BruteForceJoin",
     "SerialExecutor",
     "ShardedExecutor",
+    "DistributedExecutor",
     "ShardResult",
+    "WorkUnit",
+    "UnitCoordinator",
+    "Assignment",
     "default_algorithms",
     "default_engine",
     "executor_for",

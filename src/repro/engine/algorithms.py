@@ -40,6 +40,7 @@ from repro.storage.prefetch import PrefetchScheduler
 from repro.voronoi.single import CellComputationStats
 
 from repro.engine.config import EngineConfig
+from repro.engine.units import WorkUnit
 
 #: Candidate-page budget of one unit's prefetch plan (the nearest target
 #: leaves an NM/PM batch is likely to open first).
@@ -109,6 +110,14 @@ class JoinContext:
     #: the executor seeds it with the previous shard's outbound state and
     #: the algorithm replaces it with its own when the shard completes.
     carry: Optional[object] = None
+    #: Per-node read-only P-cell cache (``EngineConfig.cell_cache``): maps
+    #: ``oid -> VoronoiCell`` so units executing on the same node skip
+    #: recomputing cells an earlier unit already derived.  ``None`` when
+    #: the cache is disabled (the default — cached runs trade the paper's
+    #: exact recomputation counters for fewer cell derivations, so the
+    #: equivalence pins all run without it).  Pairs must stay identical;
+    #: the saving shows up as ``JoinStats.cells_cached_p``.
+    cell_cache: Optional[Dict[int, object]] = None
 
     @property
     def disk(self):
@@ -141,6 +150,43 @@ class JoinAlgorithm:
         once, before any worker starts.
         """
         return list(ctx.tree_q.iter_leaf_nodes(order="hilbert"))
+
+    def work_units(self, ctx: JoinContext) -> List[WorkUnit]:
+        """The serializable :class:`WorkUnit` descriptors of the join.
+
+        Same enumeration (and the same charged traversal) as
+        :meth:`shard_units`, but each unit is named by its page-range
+        payload instead of a materialised object, so the coordinator can
+        hand it to any worker — a forked pool member or a node
+        subprocess — over the wire.  Order is the serial traversal order.
+        """
+        return [
+            WorkUnit(
+                algorithm=self.name,
+                index=index,
+                payload=(page_id,),
+                needs_carry=self.supports_handoff,
+            )
+            for index, (page_id, _node) in enumerate(
+                ctx.tree_q.iter_leaf_nodes_with_pages(order="hilbert")
+            )
+        ]
+
+    def resolve_unit(self, ctx: JoinContext, unit: WorkUnit) -> object:
+        """Materialise a :class:`WorkUnit` back into a runnable object.
+
+        Uncounted (:meth:`~repro.index.rtree.RTree.peek_node`): the
+        dispatching process already charged the enumeration read in
+        :meth:`work_units`, exactly as the old fork path inherited the
+        already-read node objects for free.
+        """
+        return ctx.tree_q.peek_node(unit.payload[0])
+
+    def _materialised(self, ctx: JoinContext, unit: object) -> object:
+        """``unit`` as a runnable object, whichever plane it came from."""
+        if isinstance(unit, WorkUnit):
+            return self.resolve_unit(ctx, unit)
+        return unit
 
     def run_join(self, ctx: JoinContext) -> List[Tuple[int, int]]:
         """The complete join phase under serial semantics.
@@ -287,6 +333,7 @@ class NMJoin(JoinAlgorithm):
         return nearest_leaf_pages(ctx.tree_p, rect, PREFETCH_PAGES_PER_UNIT)
 
     def unit_pages(self, ctx, unit):
+        unit = self._materialised(ctx, unit)
         return self.unit_plan(ctx, unit.mbr() if unit.entries else None)
 
     def process_units(self, ctx, units):
@@ -306,6 +353,7 @@ class NMJoin(JoinAlgorithm):
             use_phi_pruning=ctx.config.use_phi_pruning,
             initial_reuse=ctx.carry,
             compute=ctx.config.compute or "scalar",
+            cell_cache=ctx.cell_cache,
         )
         ctx.carry = final_buffer if ctx.config.reuse_cells else None
         return pairs
@@ -340,6 +388,7 @@ class PMJoin(JoinAlgorithm):
         return nearest_leaf_pages(voronoi_p, rect, PREFETCH_PAGES_PER_UNIT)
 
     def unit_pages(self, ctx, unit):
+        unit = self._materialised(ctx, unit)
         return self.unit_plan(ctx, unit.mbr() if unit.entries else None)
 
     def process_units(self, ctx, units):
@@ -403,7 +452,21 @@ class FMJoin(JoinAlgorithm):
             ctx.prepared["voronoi_p"], ctx.prepared["voronoi_q"]
         )
 
+    def work_units(self, ctx):
+        # One unit per top-level R'_P partition; the payload is the seed
+        # page-id pairs the partition's synchronous traversal starts from.
+        return [
+            WorkUnit(algorithm=self.name, index=index, payload=partition.seeds)
+            for index, partition in enumerate(self.shard_units(ctx))
+        ]
+
+    def resolve_unit(self, ctx, unit):
+        from repro.join.synchronous import JoinPartition
+
+        return JoinPartition(seeds=unit.payload)
+
     def unit_pages(self, ctx, unit):
+        unit = self._materialised(ctx, unit)
         # A partition's seed stack names exactly the pages its depth-first
         # traversal opens first.
         pages: List[int] = []

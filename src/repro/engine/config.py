@@ -19,7 +19,7 @@ from repro.geometry.rect import Rect
 from repro.storage.backends import STORAGE_BACKENDS
 
 #: Executor identifiers accepted by :attr:`EngineConfig.executor`.
-EXECUTORS = ("serial", "sharded")
+EXECUTORS = ("serial", "sharded", "distributed")
 
 #: Worker-pool strategies accepted by :attr:`EngineConfig.pool`.
 POOLS = ("auto", "fork", "inline")
@@ -44,11 +44,22 @@ class EngineConfig:
     ----------
     executor:
         ``"serial"`` preserves the paper's single-threaded semantics;
-        ``"sharded"`` partitions the algorithm's shard units across
-        workers — Hilbert-ordered ``R_Q`` leaves for NM-CIJ/PM-CIJ,
-        top-level ``R'_P`` join partitions for FM-CIJ.
+        ``"sharded"`` schedules the algorithm's work units — Hilbert-
+        ordered ``R_Q`` leaves for NM-CIJ/PM-CIJ, top-level ``R'_P`` join
+        partitions for FM-CIJ — across local workers through the pull-based
+        coordinator; ``"distributed"`` runs the same coordinator over
+        ``nodes`` worker subprocesses that reopen the shared file/sqlite
+        backend read-only and speak the NDJSON unit protocol
+        (:mod:`repro.engine.node`).  Merged pairs and deterministic
+        counters are byte-identical to serial for every executor.
     workers:
-        Number of shards (and worker processes) for the sharded executor.
+        Number of local worker processes for the sharded executor.
+    nodes:
+        Number of worker subprocesses for the distributed executor.  Each
+        node is a separate interpreter (``python -m repro.engine.node``)
+        with its own read-only handle on the shared backend, so the tier
+        needs an on-disk store (``file`` or ``sqlite``; ``memory`` is
+        rejected at execution time).
     pool:
         ``"fork"`` runs shards in forked ``multiprocessing`` workers,
         ``"inline"`` runs them sequentially in-process (same shard/merge
@@ -121,10 +132,19 @@ class EngineConfig:
         only wall-clock CPU changes.  ``None`` (default) resolves at run
         time from ``$REPRO_COMPUTE``, falling back to ``"scalar"``.
         Dynamic maintenance (:mod:`repro.dynamic`) always runs scalar.
+    cell_cache:
+        Opt-in per-node cache of exact ``P`` Voronoi cells that outlives
+        NM-CIJ's per-leaf REUSE buffer, deduping recomputation across the
+        work units a node executes.  A cell depends only on ``P`` and the
+        domain, so pairs are unchanged; the recomputation counters
+        (``cells_computed_p`` and ``tree_p`` accesses) drop below the
+        paper's cost model, which is why this is off by default and the
+        saving is reported separately as ``JoinStats.cells_cached_p``.
     """
 
     executor: str = "serial"
     workers: int = 2
+    nodes: int = 2
     pool: str = "auto"
     reuse_handoff: str = "auto"
     reuse_cells: bool = True
@@ -137,6 +157,7 @@ class EngineConfig:
     prefetch: str = "off"
     prefetch_depth: int = 2
     compute: Optional[str] = None
+    cell_cache: bool = False
 
     def __post_init__(self) -> None:
         if self.executor not in EXECUTORS:
@@ -152,6 +173,15 @@ class EngineConfig:
             )
         if self.workers < 1:
             raise ValueError("workers must be at least 1")
+        if self.nodes < 1:
+            raise ValueError("nodes must be at least 1")
+        if self.executor == "distributed" and self.prefetch != "off":
+            raise ValueError(
+                "prefetch is not available with executor='distributed': "
+                "staged pages live in the coordinating process, which node "
+                "subprocesses (their own handles, their own address space) "
+                "would never see"
+            )
         if self.storage is not None and self.storage not in STORAGE_BACKENDS:
             raise ValueError(
                 f"unknown storage backend {self.storage!r}; "

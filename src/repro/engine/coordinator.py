@@ -1,0 +1,171 @@
+"""The coordinator: pull-based unit scheduling + deterministic merge.
+
+The sharded executor used to split the unit sequence into ``workers``
+contiguous chunks up front.  Static chunking is fragile under skew — one
+dense cluster of ``R_Q`` leaves makes one chunk arbitrarily more expensive
+than the rest and every other worker goes idle.  The
+:class:`UnitCoordinator` replaces it with *pull* scheduling: workers ask
+for the next unit when they finish the previous one, so a worker stuck on
+an expensive unit simply stops pulling while the others drain the queue —
+which is work stealing without a stealing protocol.
+
+Determinism is preserved by separating *assignment* from *merge order*:
+whichever worker produced a unit's result, results are folded back in unit
+index order, so the merged pair list and every merged statistic are
+byte-identical to the serial traversal (and to any other assignment).
+
+For carry-chained algorithms (NM-CIJ with the REUSE handoff) the
+coordinator degrades to a pipeline: unit ``k+1`` is not handed out until
+unit ``k``'s result — whose outbound REUSE buffer seeds ``k+1`` — has been
+recorded.  That reproduces the serial reuse chain exactly (work-optimal,
+not wall-clock-optimal), matching the fork pool's boundary pipeline from
+the pre-coordinator executor.
+
+The same coordinator instance serves every worker plane: the inline loop,
+fork-pool dispatcher threads, and the per-node driver threads of the
+distributed executor all call :meth:`next_assignment` /
+:meth:`record_result` under one lock.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.algorithms import JoinContext
+from repro.engine.units import WorkUnit
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One unit handed to one worker, with its inbound carry (if chained)."""
+
+    index: int
+    unit: WorkUnit
+    carry: Optional[object] = None
+
+
+class UnitCoordinator:
+    """Owns the unit queue, hands out work on demand, merges in order.
+
+    Thread-safe; one instance per join execution.  ``chained`` turns the
+    queue into a carry pipeline (at most one unit outstanding at a time).
+    """
+
+    def __init__(self, units: Sequence[WorkUnit], chained: bool = False):
+        self._units: List[WorkUnit] = list(units)
+        self._chained = chained
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        self._next_index = 0
+        self._results: Dict[int, object] = {}
+        self._carry: Optional[object] = None
+        self._carry_ready = True  # the first unit needs no inbound carry
+        self._error: Optional[BaseException] = None
+        #: worker id -> unit indices handed to it, in pull order.  This is
+        #: the scheduling trace the skew tests inspect: under skew the
+        #: per-worker counts stay balanced, and across runs the traces may
+        #: differ while the merged output does not.
+        self.assignments: Dict[str, List[int]] = {}
+
+    # ------------------------------------------------------------------
+    # worker-facing pull API
+    # ------------------------------------------------------------------
+    def next_assignment(self, worker_id: str) -> Optional[Assignment]:
+        """The next unit for ``worker_id``; ``None`` when the queue is done.
+
+        In chained mode the call blocks until the previous unit's result
+        (and with it the inbound carry) is available; a recorded abort
+        unblocks every waiter with ``None``.
+        """
+        with self._ready:
+            while True:
+                if self._error is not None or self._next_index >= len(self._units):
+                    return None
+                if self._chained and not self._carry_ready:
+                    self._ready.wait()
+                    continue
+                index = self._next_index
+                self._next_index += 1
+                carry = self._carry if self._chained else None
+                if self._chained:
+                    # Pipeline: nothing else is handed out until this
+                    # unit's outbound carry comes back.
+                    self._carry_ready = False
+                self.assignments.setdefault(worker_id, []).append(index)
+                return Assignment(index=index, unit=self._units[index], carry=carry)
+
+    def record_result(self, index: int, result) -> None:
+        """Store one unit's :class:`ShardResult`; releases the pipeline."""
+        with self._ready:
+            self._results[index] = result
+            if self._chained:
+                self._carry = result.carry
+                self._carry_ready = True
+            self._ready.notify_all()
+
+    def abort(self, error: BaseException) -> None:
+        """Record a worker failure and wake every blocked puller."""
+        with self._ready:
+            if self._error is None:
+                self._error = error
+            self._ready.notify_all()
+
+    @property
+    def error(self) -> Optional[BaseException]:
+        with self._lock:
+            return self._error
+
+    def peek_pending(self, depth: int) -> List[WorkUnit]:
+        """The next (up to) ``depth`` units not yet handed out — advisory,
+        for prefetch planning; does not consume them."""
+        with self._lock:
+            return self._units[self._next_index : self._next_index + depth]
+
+    # ------------------------------------------------------------------
+    # deterministic ordered merge
+    # ------------------------------------------------------------------
+    def results_in_order(self) -> List[object]:
+        """Every unit's result, in unit index order; raises if incomplete."""
+        with self._lock:
+            missing = [i for i in range(len(self._units)) if i not in self._results]
+            if missing:
+                raise RuntimeError(
+                    f"coordinator missing results for units {missing[:5]}"
+                    f"{'...' if len(missing) > 5 else ''}"
+                )
+            return [self._results[index] for index in range(len(self._units))]
+
+    def merge(
+        self,
+        ctx: JoinContext,
+        base_accesses: int,
+        absorb_counters: bool,
+    ) -> List[Tuple[int, int]]:
+        """Fold unit results into the parent context, in unit order.
+
+        Pairs are concatenated; scalar statistics are summed; each unit's
+        progress curve is replayed at the offset of everything that ran
+        before it, which keeps the merged curve monotone and identical
+        across worker planes.  When the workers charged their own counter
+        copies (fork, node subprocess) their deltas are absorbed into the
+        parent counters so the shared disk's view stays complete.
+        """
+        pairs: List[Tuple[int, int]] = []
+        pair_base = 0
+        for shard in self.results_in_order():
+            ctx.stats.accumulate(shard.stats)
+            ctx.cell_stats.merge(shard.cell_stats)
+            ctx.filter_stats.merge(shard.filter_stats)
+            for sample in shard.stats.progress:
+                ctx.stats.record_progress(
+                    base_accesses + sample.page_accesses,
+                    pair_base + sample.pairs_reported,
+                )
+            if absorb_counters:
+                ctx.disk.counters.absorb(shard.counters)
+            base_accesses += shard.counters.page_accesses
+            pair_base += len(shard.pairs)
+            pairs.extend(shard.pairs)
+        return pairs

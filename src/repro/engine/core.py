@@ -41,6 +41,12 @@ class JoinEngine:
         self._algorithms: Dict[str, JoinAlgorithm] = {a.name: a for a in stock}
         #: The currently open dynamic session (see :meth:`open_dynamic`).
         self._session = None
+        #: The executor instance of the most recent :meth:`run` — a
+        #: diagnostics hook: the sharded/distributed executors record
+        #: their pull-scheduling trace on ``last_assignments``, which the
+        #: skew tests read here.  Overwritten by every run, so only
+        #: meaningful immediately after a run on a single-threaded engine.
+        self.last_executor = None
 
     def algorithm_names(self) -> List[str]:
         """The registered algorithm identifiers, sorted."""
@@ -105,6 +111,7 @@ class JoinEngine:
                     "workload with the same storage_path"
                 )
         executor = executor_for(effective)
+        self.last_executor = executor
         domain = effective.domain
         if domain is None:
             domain = tree_p.domain().union(tree_q.domain())
@@ -120,6 +127,7 @@ class JoinEngine:
             cell_stats=CellComputationStats(),
             filter_stats=FilterStats(),
             start_counters=disk.counters.snapshot(),
+            cell_cache={} if effective.cell_cache else None,
         )
 
         if effective.prefetch != "off":

@@ -2,39 +2,46 @@
 
 * :class:`SerialExecutor` calls the algorithm's ``run_join`` directly and
   reproduces the paper's single-threaded semantics bit for bit.
-* :class:`ShardedExecutor` splits the algorithm's ordered shard units —
-  Hilbert-ordered ``R_Q`` leaves for NM-CIJ/PM-CIJ, top-level ``R'_P``
-  join partitions for FM-CIJ — into contiguous shards and processes them
-  in parallel ``fork`` workers (or inline, sequentially, through the very
-  same shard/merge path).  Each shard runs against its own counter
-  snapshot; the parent merges result pairs and every statistics record
-  deterministically, in shard order, so the merged pair list is
-  byte-identical to the serial one and the merged counters are the exact
-  sum of the per-shard deltas.
+* :class:`ShardedExecutor` enumerates the algorithm's ordered
+  :class:`~repro.engine.units.WorkUnit` descriptors — Hilbert-ordered
+  ``R_Q`` leaves for NM-CIJ/PM-CIJ, top-level ``R'_P`` join partitions for
+  FM-CIJ — and schedules them through a pull-based
+  :class:`~repro.engine.coordinator.UnitCoordinator` over local ``fork``
+  workers (or inline, sequentially, through the very same unit/merge
+  path).  Each unit runs against its own counter snapshot and the
+  dispatch-time buffer state; the coordinator merges result pairs and
+  every statistics record deterministically, in unit order, so the merged
+  pair list is byte-identical to the serial one and the merged counters
+  are the exact sum of the per-unit deltas.
+* :class:`DistributedExecutor` runs the same coordinator over ``nodes``
+  worker *subprocesses* (:mod:`repro.engine.node`) that reopen the shared
+  file/sqlite backend read-only and exchange units and results over an
+  NDJSON pipe protocol — the process-simulated form of an elastic worker
+  tier over shared storage.
 
-Parallel-correctness argument: the pairs a shard reports depend only on its
-units, the two source trees and the domain — never on buffer state, the
-REUSE carry-over or the work of other shards — so contiguous shards in unit
-order compose exactly like the serial loop.  What *can* differ is cost: by
-default the REUSE buffer cannot carry cells across a shard boundary, so a
-parallel sharded NM-CIJ recomputes a few more ``P`` cells than the serial
-run.  The *handoff* mode closes that gap: the final REUSE buffer of shard
-``k`` is passed to shard ``k+1`` (``JoinContext.carry``), which restores
-exactly the serial reuse chain — sequentially for the inline pool (where
-it costs nothing) and as a worker pipeline under ``fork`` (work-optimal,
-not wall-clock-optimal).  Either way the cost is reported honestly through
-the merged statistics.
+Parallel-correctness argument: the pairs a unit reports depend only on the
+unit itself, the two source trees and the domain — never on buffer state,
+the REUSE carry-over or the work of other units — so unit results merged
+in unit order compose exactly like the serial loop, *whatever* the dynamic
+assignment of units to workers was.  What *can* differ is cost: without
+the handoff the REUSE buffer cannot carry cells across a unit boundary, so
+a parallel NM-CIJ recomputes more ``P`` cells than the serial run.  The
+*handoff* mode closes that gap: the coordinator chains the units into a
+pipeline, seeding each with its predecessor's final REUSE buffer
+(``JoinContext.carry``) — work-optimal (recomputation drops to exactly
+serial levels), not wall-clock-optimal, and the cost is reported honestly
+through the merged statistics either way.
 
-The inline fallback also isolates the shared LRU buffer: every shard starts
+The inline pool also isolates the shared LRU buffer: every unit starts
 from the dispatch-time buffer state a forked worker would inherit, and the
-parent's buffer is rewound afterwards — so inline and forked executions
-produce identical counters, not just identical pairs.
+parent's buffer is rewound afterwards — so inline, forked and node-based
+executions produce identical counters, not just identical pairs.
 """
 
 from __future__ import annotations
 
-import math
 import multiprocessing
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -45,20 +52,25 @@ from repro.voronoi.single import CellComputationStats
 
 from repro.engine.algorithms import JoinAlgorithm, JoinContext
 from repro.engine.config import EngineConfig
+from repro.engine.coordinator import UnitCoordinator
+from repro.engine.units import WorkUnit
 
 
 @dataclass
 class ShardResult:
-    """Everything one shard sends back to the merging parent."""
+    """Everything one work unit sends back to the merging coordinator."""
 
     index: int
     pairs: List[Tuple[int, int]]
     stats: JoinStats
     cell_stats: CellComputationStats
     filter_stats: FilterStats
-    #: Page-traffic delta accumulated by this shard (its own snapshot diff).
+    #: Page-traffic delta accumulated by this unit (its own snapshot diff).
     counters: IOCounters
-    #: Outbound shard-boundary state (``supports_handoff`` algorithms).
+    #: Outbound carry state (``supports_handoff`` algorithms).  Inside one
+    #: process this is the live REUSE buffer; crossing the node protocol it
+    #: is the buffer's JSON wire form, which the coordinator forwards
+    #: opaquely to whichever node draws the next chained unit.
     carry: Optional[object] = None
 
 
@@ -72,18 +84,18 @@ class SerialExecutor:
 
 
 #: Worker-process state installed by the pool initializer (inherited cheaply
-#: through ``fork``; only shard indices, carries and results cross the pipe).
+#: through ``fork``; only unit indices, carries and results cross the pipe).
 _WORKER_STATE: Dict[str, object] = {}
 
 
-def _worker_init(algorithm, ctx, chunks, handoff: bool = False) -> None:
+def _worker_init(algorithm, ctx, units, handoff: bool = False) -> None:
     _WORKER_STATE["algorithm"] = algorithm
     _WORKER_STATE["ctx"] = ctx
-    _WORKER_STATE["chunks"] = chunks
+    _WORKER_STATE["units"] = units
     _WORKER_STATE["handoff"] = handoff
     # The worker's forked buffer copy *is* the parent's dispatch-time
-    # state; capture it so every shard this worker picks up starts from
-    # it, even when the pool hands one worker several shards.
+    # state; capture it so every unit this worker picks up starts from
+    # it, even when the pool hands one worker many units.
     _WORKER_STATE["dispatch_buffer"] = ctx.disk.buffer_state()
     # The page dict / decoded cache arrive through fork copy-on-write, but
     # file descriptors and database connections must not be shared with the
@@ -94,13 +106,13 @@ def _worker_init(algorithm, ctx, chunks, handoff: bool = False) -> None:
 def _worker_run_shard(index: int, carry: Optional[object] = None) -> ShardResult:
     algorithm = _WORKER_STATE["algorithm"]
     ctx = _WORKER_STATE["ctx"]
-    chunks = _WORKER_STATE["chunks"]
-    # Rewind to the dispatch-time buffer before every shard: a worker that
-    # wins the queue race for a second shard must not leak the previous
-    # shard's warm pages into it (the inline fallback rewinds identically,
-    # keeping counters byte-equal across pool strategies).
+    units = _WORKER_STATE["units"]
+    # Rewind to the dispatch-time buffer before every unit: a worker that
+    # wins the queue race for another unit must not leak the previous
+    # unit's warm pages into it (the inline pool rewinds identically,
+    # keeping counters byte-equal across worker planes).
     ctx.disk.restore_buffer_state(_WORKER_STATE["dispatch_buffer"])
-    result = _execute_shard(algorithm, ctx, chunks[index], index, carry=carry)
+    result = _execute_shard(algorithm, ctx, [units[index]], index, carry=carry)
     if not _WORKER_STATE.get("handoff"):
         # Nobody consumes the outbound carry without the boundary handoff;
         # keep the (potentially large) REUSE buffer off the result pipe.
@@ -115,14 +127,19 @@ def _execute_shard(
     index: int,
     carry: Optional[object] = None,
 ) -> ShardResult:
-    """Process one shard with isolated statistics and a fresh counter base.
+    """Process one unit batch with isolated statistics and a fresh counter
+    base.
 
-    In a forked worker the disk object is the worker's own copy, so the
-    snapshot/diff pair measures exactly this shard's traffic; inline, the
-    same snapshot/diff isolates the shard's delta on the shared counters.
-    ``carry`` seeds the shard's inbound boundary state (the previous
-    shard's REUSE buffer) when the handoff is enabled.
+    In a forked worker or a node subprocess the disk object is the
+    worker's own copy, so the snapshot/diff pair measures exactly this
+    batch's traffic; inline, the same snapshot/diff isolates the delta on
+    the shared counters.  ``carry`` seeds the inbound boundary state (the
+    previous unit's REUSE buffer) when the handoff is enabled.  Units may
+    arrive as :class:`~repro.engine.units.WorkUnit` descriptors, which are
+    resolved back to runnable objects without charging I/O (the dispatcher
+    already charged the enumeration).
     """
+    materialised = [algorithm._materialised(parent_ctx, unit) for unit in units]
     disk = parent_ctx.disk
     snapshot = disk.counters.snapshot()
     stats = JoinStats(algorithm=algorithm.display_name)
@@ -139,8 +156,9 @@ def _execute_shard(
         start_counters=snapshot,
         prepared=parent_ctx.prepared,
         carry=carry,
+        cell_cache=parent_ctx.cell_cache,
     )
-    pairs = algorithm.process_units(shard_ctx, units)
+    pairs = algorithm.process_units(shard_ctx, materialised)
     return ShardResult(
         index=index,
         pairs=pairs,
@@ -153,7 +171,7 @@ def _execute_shard(
 
 
 class ShardedExecutor:
-    """Partition the algorithm's shard units across workers and merge."""
+    """Schedule the algorithm's work units across local workers and merge."""
 
     name = "sharded"
 
@@ -163,6 +181,9 @@ class ShardedExecutor:
         self.workers = workers
         self.pool = pool
         self.reuse_handoff = reuse_handoff
+        #: Scheduling trace of the most recent run (worker id -> unit
+        #: indices, in pull order); inspection hook for the skew tests.
+        self.last_assignments: Optional[Dict[str, List[int]]] = None
 
     def execute(self, algorithm: JoinAlgorithm, ctx: JoinContext) -> List[Tuple[int, int]]:
         if not algorithm.supports_sharding:
@@ -172,34 +193,34 @@ class ShardedExecutor:
             )
         # Enumerating the units is part of the join and is charged to the
         # parent, once, before any worker starts.
-        units = algorithm.shard_units(ctx)
+        units = algorithm.work_units(ctx)
         if not units:
             return []
-        chunks = self._contiguous_chunks(units)
+        handoff = self._handoff_enabled(algorithm)
+        coordinator = UnitCoordinator(units, chained=handoff)
         base_accesses = ctx.disk.counters.diff(ctx.start_counters).page_accesses
-        shard_results, forked = self._run_chunks(algorithm, ctx, chunks)
-        return self._merge(ctx, shard_results, base_accesses, forked)
-
-    # ------------------------------------------------------------------
-    # sharding and dispatch
-    # ------------------------------------------------------------------
-    def _contiguous_chunks(self, units: Sequence[object]) -> List[Sequence[object]]:
-        """Split the unit sequence into at most ``workers`` contiguous runs.
-
-        Contiguity in unit order keeps each shard spatially coherent (the
-        REUSE buffer stays effective within a leaf shard; FM partitions
-        stay in traversal order) and makes the shard-order concatenation of
-        outputs equal the serial pair list.
-        """
-        shard_count = max(1, min(self.workers, len(units)))
-        size = math.ceil(len(units) / shard_count)
-        return [units[i : i + size] for i in range(0, len(units), size)]
+        forked = False
+        if (
+            ctx.config.prefetch != "next_shard"
+            and self.pool in ("auto", "fork")
+            and len(units) > 1
+        ):
+            # next_shard staging lives in this process; forked workers
+            # would never see it (the config rejects an explicit
+            # pool='fork'), so it always runs inline, where the async
+            # reader thread genuinely overlaps upcoming units' fetches
+            # with the current unit's computation.
+            forked = self._run_units_fork(algorithm, ctx, coordinator, units, handoff)
+        if not forked:
+            self._run_units_inline(algorithm, ctx, coordinator, len(units))
+        self.last_assignments = dict(coordinator.assignments)
+        return coordinator.merge(ctx, base_accesses, absorb_counters=forked)
 
     def _handoff_enabled(self, algorithm: JoinAlgorithm) -> bool:
-        """Whether shard-boundary carry state is threaded between shards.
+        """Whether carry state is chained between units (a pipeline).
 
         ``"auto"`` enables the handoff only for the *configured* inline
-        pool, where shards run sequentially anyway and the serial REUSE
+        pool, where units run sequentially anyway and the serial REUSE
         chain is free; ``"always"`` additionally pipelines forked workers
         (work-optimal, not wall-clock-optimal); ``"never"`` disables it.
         """
@@ -211,139 +232,259 @@ class ShardedExecutor:
             return False
         return self.pool == "inline"
 
-    def _run_chunks(
-        self, algorithm: JoinAlgorithm, ctx: JoinContext, chunks: List[Sequence[object]]
-    ) -> Tuple[List[ShardResult], bool]:
-        """Run every chunk, preferring forked workers; returns (results, forked)."""
-        handoff = self._handoff_enabled(algorithm)
-        if ctx.config.prefetch == "next_shard":
-            # Shard-boundary staging lives in this process; forked workers
-            # would never see it (the config rejects an explicit
-            # pool='fork'), so 'auto' resolves to the inline path, where
-            # the async reader thread genuinely overlaps the next shard's
-            # fetches with the current shard's computation.
-            return self._run_chunks_inline(algorithm, ctx, chunks, handoff), False
-        if self.pool in ("auto", "fork") and len(chunks) > 1:
-            pool = self._make_fork_pool(algorithm, ctx, chunks, handoff)
-            if pool is not None:
-                # Only pool *creation* falls back to inline; an error raised
-                # by the join itself inside a worker propagates unchanged.
-                with pool:
-                    if handoff:
-                        # Boundary-chained pipeline: each shard needs its
-                        # predecessor's final REUSE buffer, so shards are
-                        # dispatched in order and the carry crosses the
-                        # pipe between workers via the parent.
-                        results: List[ShardResult] = []
-                        carry: Optional[object] = None
-                        for index in range(len(chunks)):
-                            result = pool.apply(_worker_run_shard, (index, carry))
-                            carry = result.carry
-                            results.append(result)
-                        return results, True
-                    return pool.map(_worker_run_shard, range(len(chunks))), True
-        return self._run_chunks_inline(algorithm, ctx, chunks, handoff), False
-
-    def _run_chunks_inline(
+    def _run_units_fork(
         self,
         algorithm: JoinAlgorithm,
         ctx: JoinContext,
-        chunks: List[Sequence[object]],
+        coordinator: UnitCoordinator,
+        units: Sequence[WorkUnit],
         handoff: bool,
-    ) -> List[ShardResult]:
-        """Sequential fallback through the same shard/merge path.
+    ) -> bool:
+        """Drain the coordinator through a fork pool; False = unavailable.
 
-        Every shard is rewound to the dispatch-time buffer state a forked
+        One dispatcher thread per pool worker pulls assignments and blocks
+        in ``pool.apply`` while its unit runs, so a worker stuck on an
+        expensive unit stops pulling and the others drain the queue — the
+        pull scheduling is identical to the inline and node planes.  Only
+        pool *creation* falls back to inline; an error raised by the join
+        itself inside a worker propagates unchanged.
+        """
+        size = min(self.workers, len(units))
+        pool = self._make_fork_pool(algorithm, ctx, units, handoff, size)
+        if pool is None:
+            return False
+        errors: List[BaseException] = []
+
+        def drive(worker_id: str) -> None:
+            while True:
+                assignment = coordinator.next_assignment(worker_id)
+                if assignment is None:
+                    return
+                try:
+                    result = pool.apply(
+                        _worker_run_shard, (assignment.index, assignment.carry)
+                    )
+                except BaseException as error:  # noqa: BLE001 - reraised below
+                    errors.append(error)
+                    coordinator.abort(error)
+                    return
+                coordinator.record_result(assignment.index, result)
+
+        with pool:
+            threads = [
+                threading.Thread(target=drive, args=(f"fork-{i}",))
+                for i in range(size)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        if errors:
+            raise errors[0]
+        return True
+
+    def _run_units_inline(
+        self,
+        algorithm: JoinAlgorithm,
+        ctx: JoinContext,
+        coordinator: UnitCoordinator,
+        unit_count: int,
+    ) -> None:
+        """Sequential in-process drain through the same unit/merge path.
+
+        Every unit is rewound to the dispatch-time buffer state a forked
         worker would inherit, so inline and forked runs charge identical
         counters; the parent's buffer is likewise rewound afterwards (a
         fork parent's buffer never sees the workers' traffic either).
         """
-        isolate = len(chunks) > 1
+        isolate = unit_count > 1
         dispatch_state = ctx.disk.buffer_state() if isolate else None
         prefetcher = (
             ctx.disk.prefetcher if ctx.config.prefetch == "next_shard" else None
         )
-        results = []
-        carry: Optional[object] = None
+        first = True
         try:
-            for index, chunk in enumerate(chunks):
-                if dispatch_state is not None and index > 0:
+            while True:
+                assignment = coordinator.next_assignment("inline-0")
+                if assignment is None:
+                    return
+                if dispatch_state is not None and not first:
                     ctx.disk.restore_buffer_state(dispatch_state)
-                if prefetcher is not None and index + 1 < len(chunks):
-                    # Stage the next shard's opening pages now: the backend's
-                    # worker thread fetches them while this shard computes.
-                    pages = algorithm.prefetch_pages(ctx, chunks[index + 1])
-                    if pages:
-                        prefetcher.request(pages)
-                result = _execute_shard(
-                    algorithm, ctx, chunk, index, carry=carry if handoff else None
-                )
-                carry = result.carry
-                results.append(result)
+                first = False
+                if prefetcher is not None:
+                    # Stage upcoming units' opening pages now: the backend's
+                    # worker thread fetches them while this unit computes.
+                    pending = coordinator.peek_pending(ctx.config.prefetch_depth)
+                    if pending:
+                        pages = algorithm.prefetch_pages(ctx, pending)
+                        if pages:
+                            prefetcher.request(pages)
+                try:
+                    result = _execute_shard(
+                        algorithm,
+                        ctx,
+                        [assignment.unit],
+                        assignment.index,
+                        carry=assignment.carry,
+                    )
+                except BaseException as error:  # noqa: BLE001 - reraised
+                    coordinator.abort(error)
+                    raise
+                coordinator.record_result(assignment.index, result)
         finally:
-            # Rewind even when a shard raises: the caller's drain then sees
-            # the dispatch-time buffer, not a half-executed shard's, and a
+            # Rewind even when a unit raises: the caller's drain then sees
+            # the dispatch-time buffer, not a half-executed unit's, and a
             # follow-up run on the same disk starts from a known state.
             if dispatch_state is not None:
                 ctx.disk.restore_buffer_state(dispatch_state)
-        return results
 
     def _make_fork_pool(
         self,
         algorithm: JoinAlgorithm,
         ctx: JoinContext,
-        chunks: List[Sequence[object]],
+        units: Sequence[WorkUnit],
         handoff: bool,
+        size: int,
     ):
         """A fork worker pool, or ``None`` when unavailable and pool='auto'."""
         try:
             context = multiprocessing.get_context("fork")
             return context.Pool(
-                min(self.workers, len(chunks)),
+                size,
                 initializer=_worker_init,
-                initargs=(algorithm, ctx, chunks, handoff),
+                initargs=(algorithm, ctx, list(units), handoff),
             )
         except (OSError, ValueError, ImportError) as error:
             if self.pool == "fork":
                 raise RuntimeError(f"fork worker pool unavailable: {error}") from error
             return None
 
-    # ------------------------------------------------------------------
-    # deterministic merge
-    # ------------------------------------------------------------------
-    def _merge(
-        self,
-        ctx: JoinContext,
-        shard_results: List[ShardResult],
-        base_accesses: int,
-        forked: bool,
-    ) -> List[Tuple[int, int]]:
-        """Fold shard outputs into the parent context, in shard order.
 
-        Pairs are concatenated; scalar statistics are summed; each shard's
-        progress curve is replayed at the offset of everything that ran
-        before it, which keeps the merged curve monotone and identical
-        across pool strategies.  Under ``fork`` the workers charged their
-        own counter copies, so their deltas are absorbed into the parent
-        counters to keep the shared disk's view complete.
-        """
-        pairs: List[Tuple[int, int]] = []
-        pair_base = 0
-        for shard in sorted(shard_results, key=lambda result: result.index):
-            ctx.stats.accumulate(shard.stats)
-            ctx.cell_stats.merge(shard.cell_stats)
-            ctx.filter_stats.merge(shard.filter_stats)
-            for sample in shard.stats.progress:
-                ctx.stats.record_progress(
-                    base_accesses + sample.page_accesses,
-                    pair_base + sample.pairs_reported,
+class DistributedExecutor:
+    """Run the coordinator over node subprocesses on a shared backend.
+
+    Each node is a separate interpreter (``python -m repro.engine.node``)
+    that reopens the run's file/sqlite store read-only, rebuilds the
+    dispatch-time buffer state, and executes whatever units it pulls from
+    the coordinator over an NDJSON pipe protocol
+    (:mod:`repro.engine.node`).  Results merge in unit order, so pairs,
+    statistics and deterministic counters are byte-identical to the serial
+    run no matter how units were assigned.
+
+    ``reuse_handoff="auto"`` *enables* the chained REUSE pipeline here
+    (unlike the sharded executor's auto, which reserves it for the inline
+    pool): a distributed run's default output must match serial counters
+    exactly, and the chained pipeline — work-optimal, not
+    wall-clock-optimal — is what restores the serial recomputation counts.
+    """
+
+    name = "distributed"
+
+    def __init__(
+        self,
+        nodes: int = 2,
+        reuse_handoff: str = "auto",
+        node_delays: Optional[Sequence[float]] = None,
+    ):
+        if nodes < 1:
+            raise ValueError("nodes must be at least 1")
+        self.nodes = nodes
+        self.reuse_handoff = reuse_handoff
+        #: Debug knob (tests only): artificial seconds each node sleeps per
+        #: unit, indexed by node ordinal — used to force distinguishable
+        #: pull interleavings in the skew/steal tests.
+        self.node_delays = node_delays
+        #: Scheduling trace of the most recent run (node id -> unit
+        #: indices, in pull order); inspection hook for the skew tests.
+        self.last_assignments: Optional[Dict[str, List[int]]] = None
+
+    def _handoff_enabled(self, algorithm: JoinAlgorithm) -> bool:
+        if not algorithm.supports_handoff:
+            return False
+        return self.reuse_handoff != "never"
+
+    def execute(self, algorithm: JoinAlgorithm, ctx: JoinContext) -> List[Tuple[int, int]]:
+        from repro.engine import node as node_plane
+
+        if not algorithm.supports_sharding:
+            raise ValueError(
+                f"{algorithm.display_name} does not support distributed "
+                "execution; its join phase has no shard units"
+            )
+        backend = ctx.disk.storage_backend
+        path = getattr(ctx.disk.store, "path", None)
+        if backend == "memory" or path is None:
+            raise ValueError(
+                "executor='distributed' needs an on-disk shared backend that "
+                "node subprocesses can reopen read-only; use storage='file' "
+                f"or storage='sqlite' (got {backend!r})"
+            )
+        units = algorithm.work_units(ctx)
+        if not units:
+            return []
+        handoff = self._handoff_enabled(algorithm)
+        coordinator = UnitCoordinator(units, chained=handoff)
+        base_accesses = ctx.disk.counters.diff(ctx.start_counters).page_accesses
+        spec = node_plane.node_init_spec(algorithm, ctx, handoff)
+        count = min(self.nodes, len(units))
+        nodes: List[node_plane.NodeProcess] = []
+        errors: List[BaseException] = []
+
+        def wait_ready(node: "node_plane.NodeProcess") -> None:
+            try:
+                node.wait_ready()
+            except BaseException as error:  # noqa: BLE001 - reraised below
+                errors.append(error)
+                coordinator.abort(error)
+
+        def drive(node: "node_plane.NodeProcess") -> None:
+            try:
+                while True:
+                    assignment = coordinator.next_assignment(node.worker_id)
+                    if assignment is None:
+                        return
+                    result = node.run_unit(assignment)
+                    coordinator.record_result(assignment.index, result)
+            except BaseException as error:  # noqa: BLE001 - reraised below
+                errors.append(error)
+                coordinator.abort(error)
+
+        try:
+            for ordinal in range(count):
+                delay = 0.0
+                if self.node_delays is not None and ordinal < len(self.node_delays):
+                    delay = float(self.node_delays[ordinal])
+                nodes.append(
+                    node_plane.NodeProcess(
+                        worker_id=f"node-{ordinal}", spec=spec, unit_delay=delay
+                    )
                 )
-            if forked:
-                ctx.disk.counters.absorb(shard.counters)
-            base_accesses += shard.counters.page_accesses
-            pair_base += len(shard.pairs)
-            pairs.extend(shard.pairs)
-        return pairs
+            # Readiness barrier: no node pulls until every node is up.
+            # Interpreter startup dwarfs a unit's runtime, so without the
+            # barrier the first node ready routinely drains the whole
+            # queue and the run degenerates to single-node execution.
+            ready = [
+                threading.Thread(target=wait_ready, args=(node,)) for node in nodes
+            ]
+            for thread in ready:
+                thread.start()
+            for thread in ready:
+                thread.join()
+            if not errors:
+                threads = [
+                    threading.Thread(target=drive, args=(node,)) for node in nodes
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+        finally:
+            for node in nodes:
+                node.shutdown()
+        if errors:
+            raise errors[0]
+        self.last_assignments = dict(coordinator.assignments)
+        return coordinator.merge(ctx, base_accesses, absorb_counters=True)
 
 
 def executor_for(config: EngineConfig):
@@ -354,6 +495,11 @@ def executor_for(config: EngineConfig):
         return ShardedExecutor(
             workers=config.workers,
             pool=config.pool,
+            reuse_handoff=config.reuse_handoff,
+        )
+    if config.executor == "distributed":
+        return DistributedExecutor(
+            nodes=config.nodes,
             reuse_handoff=config.reuse_handoff,
         )
     raise ValueError(f"unknown executor {config.executor!r}")

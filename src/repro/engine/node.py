@@ -1,0 +1,481 @@
+"""The node plane: worker subprocesses for the distributed executor.
+
+A *node* is a separate interpreter (``python -m repro.engine.node``) that
+simulates one member of an elastic worker tier over shared storage.  The
+coordinating process sends it one ``init`` message describing the run —
+which backend file to reopen, the R-tree roots and fanouts, the resident
+buffer pages at dispatch time, the algorithm and its knobs — and then
+streams ``unit`` messages; the node answers each with the unit's pairs,
+statistics and counter delta.  Framing and encoding reuse the service
+protocol's canonical NDJSON (:mod:`repro.service.protocol`): one JSON
+object per line, sorted keys, pure ASCII — so a unit result is
+byte-reproducible across runs and nodes.
+
+Equivalence story, mirroring the fork pool exactly:
+
+* the node opens the *same* pages the parent's workload wrote — the
+  file/sqlite store is reopened read-only
+  (:meth:`~repro.storage.disk.DiskManager.reopen_for_worker`);
+* the dispatch-time LRU residency travels in the init spec; the node
+  rebuilds the decoded cache with *uncounted* reads and rewinds to that
+  state before **every** unit, so a node that pulls many units charges the
+  same counters as if each unit ran in a fresh fork;
+* each unit runs against the node's own counter snapshot and the parent
+  absorbs the returned deltas, so merged counters are the exact sum of
+  per-unit work.
+
+The REUSE carry crosses the wire in an explicit JSON form (a list of
+``[oid, site_x, site_y, vertices]`` cells) produced and consumed only by
+nodes; the coordinator forwards it opaquely from one node's result to the
+next chained unit's assignment, wherever that unit lands.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import fields
+from typing import Any, Dict, List, Optional
+
+from repro.geometry.point import Point
+from repro.geometry.polygon import ConvexPolygon
+from repro.geometry.rect import Rect
+from repro.index.rtree import RTree
+from repro.join.conditional_filter import FilterStats
+from repro.join.result import JoinStats, ProgressSample
+from repro.service.protocol import PROTOCOL_VERSION, decode_line, encode_line
+from repro.storage.counters import IOCounters
+from repro.storage.disk import DiskManager
+from repro.voronoi.cell import VoronoiCell
+from repro.voronoi.single import CellComputationStats
+
+
+# ----------------------------------------------------------------------
+# wire codecs (worker side encodes, parent side decodes)
+# ----------------------------------------------------------------------
+def stats_to_wire(stats: JoinStats) -> Dict[str, Any]:
+    """A :class:`JoinStats` as a JSON-safe mapping (fields generically, so
+    a counter added to the dataclass cannot be dropped from the wire)."""
+    wire: Dict[str, Any] = {}
+    for field_info in fields(stats):
+        if field_info.name == "progress":
+            wire["progress"] = [
+                [sample.page_accesses, sample.pairs_reported]
+                for sample in stats.progress
+            ]
+        else:
+            wire[field_info.name] = getattr(stats, field_info.name)
+    return wire
+
+
+def stats_from_wire(wire: Dict[str, Any]) -> JoinStats:
+    stats = JoinStats(algorithm=wire["algorithm"])
+    for field_info in fields(stats):
+        if field_info.name == "algorithm":
+            continue
+        if field_info.name == "progress":
+            stats.progress = [
+                ProgressSample(accesses, pairs_reported)
+                for accesses, pairs_reported in wire["progress"]
+            ]
+        else:
+            setattr(stats, field_info.name, wire[field_info.name])
+    return stats
+
+
+def record_to_wire(record) -> Dict[str, Any]:
+    """Generic flat-int-dataclass codec (cell/filter statistics)."""
+    return {f.name: getattr(record, f.name) for f in fields(record)}
+
+
+def counters_to_wire(counters: IOCounters) -> Dict[str, Any]:
+    return {
+        "reads": counters.reads,
+        "writes": counters.writes,
+        "logical_reads": counters.logical_reads,
+        "buffer_hits": counters.buffer_hits,
+        "by_tag": dict(counters.by_tag),
+    }
+
+
+def counters_from_wire(wire: Dict[str, Any]) -> IOCounters:
+    counters = IOCounters(
+        reads=wire["reads"],
+        writes=wire["writes"],
+        logical_reads=wire["logical_reads"],
+        buffer_hits=wire["buffer_hits"],
+    )
+    counters.by_tag = dict(wire["by_tag"])
+    return counters
+
+
+def carry_to_wire(carry: Optional[Dict[int, VoronoiCell]]) -> Optional[List]:
+    """The REUSE buffer as JSON; ``repr``-exact doubles round-trip, so a
+    cell survives the pipe bit for bit."""
+    if carry is None:
+        return None
+    return [
+        [
+            oid,
+            cell.site.x,
+            cell.site.y,
+            [[vertex.x, vertex.y] for vertex in cell.polygon.vertices],
+        ]
+        for oid, cell in carry.items()
+    ]
+
+
+def carry_from_wire(wire: Optional[List]) -> Optional[Dict[int, VoronoiCell]]:
+    if wire is None:
+        return None
+    buffer: Dict[int, VoronoiCell] = {}
+    for oid, site_x, site_y, vertices in wire:
+        # Bypass ConvexPolygon.__init__: the transported ring is already
+        # normalised and must round-trip bit for bit, not be re-cleaned
+        # (same rationale as the page codec's cell decoder).
+        polygon = ConvexPolygon.__new__(ConvexPolygon)
+        polygon._vertices = tuple(Point(x, y) for x, y in vertices)
+        buffer[oid] = VoronoiCell(oid, Point(site_x, site_y), polygon)
+    return buffer
+
+
+def _tree_spec(tree: RTree) -> Dict[str, Any]:
+    return {
+        "tag": tree.tag,
+        "page_size": tree.page_size,
+        "leaf_capacity": tree.leaf_capacity,
+        "branch_capacity": tree.branch_capacity,
+        "root_page": tree.root_page,
+        "height": tree.height,
+        "size": tree.size,
+    }
+
+
+def node_init_spec(algorithm, ctx, handoff: bool) -> Dict[str, Any]:
+    """Everything a node needs to rebuild the run's read view.
+
+    Trees are described by root/fanout metadata only — the pages
+    themselves live in the shared store, which is the whole point of the
+    tier.  ``resident`` is the dispatch-time LRU residency (least to most
+    recently used) the node rewinds to before every unit.
+    """
+    disk = ctx.disk
+    prepared = {
+        name: _tree_spec(tree)
+        for name, tree in ctx.prepared.items()
+        if isinstance(tree, RTree)
+    }
+    resident, _cache = disk.buffer_state()
+    return {
+        "version": PROTOCOL_VERSION,
+        "algorithm": algorithm.name,
+        "handoff": handoff,
+        "storage": {
+            "backend": disk.storage_backend,
+            "path": str(disk.store.path),
+            "page_size": disk.page_size,
+            "buffer_capacity": disk.buffer.capacity,
+            "resident": list(resident),
+        },
+        "tree_p": _tree_spec(ctx.tree_p),
+        "tree_q": _tree_spec(ctx.tree_q),
+        "prepared": prepared,
+        "domain": [ctx.domain.xmin, ctx.domain.ymin, ctx.domain.xmax, ctx.domain.ymax],
+        "config": {
+            "reuse_cells": ctx.config.reuse_cells,
+            "use_phi_pruning": ctx.config.use_phi_pruning,
+            "progress_interval": ctx.config.progress_interval,
+            "compute": ctx.config.compute or "scalar",
+            "cell_cache": ctx.config.cell_cache,
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# parent side: one subprocess handle per node
+# ----------------------------------------------------------------------
+class NodeProcess:
+    """Handle on one node subprocess speaking the unit protocol."""
+
+    def __init__(self, worker_id: str, spec: Dict[str, Any], unit_delay: float = 0.0):
+        self.worker_id = worker_id
+        package_root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+        env = dict(os.environ)
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            package_root if not existing else package_root + os.pathsep + existing
+        )
+        # stderr goes to an unlinked temp file: an unread PIPE would
+        # deadlock a chatty child, and the tail makes death diagnosable.
+        self._stderr = tempfile.TemporaryFile()
+        self.process = subprocess.Popen(
+            [sys.executable, "-u", "-m", "repro.engine.node"],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=self._stderr,
+            env=env,
+        )
+        message = dict(spec)
+        message["type"] = "init"
+        if unit_delay:
+            message["unit_delay"] = unit_delay
+        self._send(message)
+        self._ready = False
+
+    def _send(self, message: Dict[str, Any]) -> None:
+        self.process.stdin.write(encode_line(message))
+        self.process.stdin.flush()
+
+    def _stderr_tail(self) -> str:
+        try:
+            self._stderr.seek(0)
+            return self._stderr.read()[-2000:].decode("utf-8", "replace").strip()
+        except (OSError, ValueError):
+            return ""
+
+    def _recv(self) -> Dict[str, Any]:
+        line = self.process.stdout.readline()
+        if not line:
+            tail = self._stderr_tail()
+            raise RuntimeError(
+                f"{self.worker_id} exited without replying"
+                + (f"; stderr: {tail}" if tail else "")
+            )
+        message = decode_line(line)
+        if message.get("type") == "error":
+            raise RuntimeError(f"{self.worker_id} failed: {message.get('message')}")
+        return message
+
+    def wait_ready(self) -> None:
+        """Block until the node has rebuilt the read view (or died)."""
+        if self._ready:
+            return
+        message = self._recv()
+        if message.get("type") != "ready":
+            raise RuntimeError(
+                f"{self.worker_id} spoke out of turn: expected 'ready', "
+                f"got {message.get('type')!r}"
+            )
+        self._ready = True
+
+    def run_unit(self, assignment) -> "ShardResult":
+        """Execute one assignment on the node; blocks until its result."""
+        from repro.engine.executors import ShardResult
+
+        self._send(
+            {
+                "type": "unit",
+                "index": assignment.index,
+                "unit": assignment.unit.to_wire(),
+                # Opaque: whatever wire form the producing node returned.
+                "carry": assignment.carry,
+            }
+        )
+        message = self._recv()
+        if message.get("type") != "result":
+            raise RuntimeError(
+                f"{self.worker_id} spoke out of turn: expected 'result', "
+                f"got {message.get('type')!r}"
+            )
+        return ShardResult(
+            index=message["index"],
+            pairs=[tuple(pair) for pair in message["pairs"]],
+            stats=stats_from_wire(message["stats"]),
+            cell_stats=CellComputationStats(**message["cell_stats"]),
+            filter_stats=FilterStats(**message["filter_stats"]),
+            counters=counters_from_wire(message["counters"]),
+            carry=message.get("carry"),
+        )
+
+    def shutdown(self) -> None:
+        """Ask the node to exit; escalate to kill if it lingers."""
+        process = self.process
+        try:
+            if process.poll() is None and process.stdin and not process.stdin.closed:
+                try:
+                    self._send({"type": "shutdown"})
+                except (BrokenPipeError, OSError):
+                    pass
+            if process.stdin and not process.stdin.closed:
+                try:
+                    process.stdin.close()
+                except OSError:
+                    pass
+            try:
+                process.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait(timeout=10)
+        finally:
+            if process.stdout:
+                process.stdout.close()
+            try:
+                self._stderr.close()
+            except OSError:
+                pass
+
+
+# ----------------------------------------------------------------------
+# worker side: the subprocess main loop
+# ----------------------------------------------------------------------
+def _build_tree(disk: DiskManager, spec: Dict[str, Any]) -> RTree:
+    tree = RTree(
+        disk,
+        spec["tag"],
+        page_size=spec["page_size"],
+        leaf_capacity=spec["leaf_capacity"],
+        branch_capacity=spec["branch_capacity"],
+    )
+    tree.root_page = spec["root_page"]
+    tree.height = spec["height"]
+    tree.size = spec["size"]
+    return tree
+
+
+def _bootstrap(spec: Dict[str, Any]):
+    """Rebuild the run's read view from an init spec.
+
+    Returns ``(algorithm, parent_ctx, dispatch_state)`` where
+    ``dispatch_state`` is the buffer state every unit is rewound to.
+    """
+    from repro.engine.algorithms import JoinContext, default_algorithms
+    from repro.engine.config import EngineConfig
+
+    if spec.get("version") != PROTOCOL_VERSION:
+        raise ValueError(
+            f"protocol version mismatch: node speaks {PROTOCOL_VERSION}, "
+            f"coordinator sent {spec.get('version')!r}"
+        )
+    storage = spec["storage"]
+    disk = DiskManager(
+        page_size=storage["page_size"],
+        storage=storage["backend"],
+        storage_path=storage["path"],
+    )
+    # Read-only handles before anything touches the store: this node must
+    # never write to (or, on close, delete) the shared backing file.
+    disk.reopen_for_worker()
+    disk.resize_buffer(storage["buffer_capacity"])
+    # Rebuild the decoded cache for the dispatch-resident pages with
+    # uncounted reads — the parent already charged them.
+    cache = {
+        page_id: disk.store.read_page(page_id, count=False)
+        for page_id in storage["resident"]
+    }
+    dispatch_state = (list(storage["resident"]), cache)
+    disk.restore_buffer_state(dispatch_state)
+
+    by_name = {algo.name: algo for algo in default_algorithms()}
+    algorithm = by_name[spec["algorithm"]]
+    knobs = spec["config"]
+    config = EngineConfig(
+        executor="serial",
+        reuse_cells=knobs["reuse_cells"],
+        use_phi_pruning=knobs["use_phi_pruning"],
+        progress_interval=knobs["progress_interval"],
+        compute=knobs["compute"],
+        cell_cache=knobs["cell_cache"],
+    )
+    domain = Rect(*spec["domain"])
+    tree_p = _build_tree(disk, spec["tree_p"])
+    tree_q = _build_tree(disk, spec["tree_q"])
+    prepared = {
+        name: _build_tree(disk, tree_spec)
+        for name, tree_spec in spec["prepared"].items()
+    }
+    parent_ctx = JoinContext(
+        tree_p=tree_p,
+        tree_q=tree_q,
+        domain=domain,
+        config=config,
+        stats=JoinStats(algorithm=algorithm.display_name),
+        cell_stats=CellComputationStats(),
+        filter_stats=FilterStats(),
+        start_counters=disk.counters.snapshot(),
+        prepared=prepared,
+        cell_cache={} if knobs["cell_cache"] else None,
+    )
+    return algorithm, parent_ctx, dispatch_state
+
+
+def main() -> int:
+    from repro.engine.executors import _execute_shard
+    from repro.engine.units import WorkUnit
+
+    stdin = sys.stdin.buffer
+    stdout = sys.stdout.buffer
+
+    def reply(message: Dict[str, Any]) -> None:
+        stdout.write(encode_line(message))
+        stdout.flush()
+
+    try:
+        init_line = stdin.readline()
+        if not init_line:
+            return 0
+        init = decode_line(init_line)
+        if init.get("type") != "init":
+            raise ValueError(f"expected an init message, got {init.get('type')!r}")
+        unit_delay = float(init.get("unit_delay", 0.0))
+        handoff = bool(init.get("handoff", False))
+        algorithm, parent_ctx, dispatch_state = _bootstrap(init)
+    except BaseException as error:  # noqa: BLE001 - reported to the parent
+        reply({"type": "error", "message": f"{type(error).__name__}: {error}"})
+        return 1
+    reply({"type": "ready", "version": PROTOCOL_VERSION})
+
+    disk = parent_ctx.disk
+    try:
+        while True:
+            line = stdin.readline()
+            if not line:
+                return 0
+            message = decode_line(line)
+            kind = message.get("type")
+            if kind == "shutdown":
+                return 0
+            if kind != "unit":
+                reply(
+                    {"type": "error", "message": f"unexpected message {kind!r}"}
+                )
+                return 1
+            try:
+                if unit_delay:
+                    time.sleep(unit_delay)
+                # Every unit starts from the dispatch-time buffer, exactly
+                # like a fresh fork: pulling many units onto one node must
+                # not change the charged counters.
+                disk.restore_buffer_state(dispatch_state)
+                unit = WorkUnit.from_wire(message["unit"])
+                carry = carry_from_wire(message.get("carry"))
+                result = _execute_shard(
+                    algorithm,
+                    parent_ctx,
+                    [unit],
+                    message["index"],
+                    carry=carry,
+                )
+                reply(
+                    {
+                        "type": "result",
+                        "index": result.index,
+                        "pairs": [[p, q] for p, q in result.pairs],
+                        "stats": stats_to_wire(result.stats),
+                        "cell_stats": record_to_wire(result.cell_stats),
+                        "filter_stats": record_to_wire(result.filter_stats),
+                        "counters": counters_to_wire(result.counters),
+                        "carry": carry_to_wire(result.carry) if handoff else None,
+                    }
+                )
+            except BaseException as error:  # noqa: BLE001 - reported
+                reply({"type": "error", "message": f"{type(error).__name__}: {error}"})
+                return 1
+    finally:
+        disk.close()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

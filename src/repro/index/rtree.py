@@ -263,6 +263,19 @@ class RTree:
         used by the CIJ algorithms so that consecutive leaves are spatially
         close and the LRU buffer is effective).
         """
+        for _, node in self.iter_leaf_nodes_with_pages(order=order):
+            yield node
+
+    def iter_leaf_nodes_with_pages(
+        self, order: str = "dfs"
+    ) -> Iterator[Tuple[int, Node]]:
+        """Yield ``(page_id, leaf node)`` pairs, charging I/O per node.
+
+        The same charged traversal as :meth:`iter_leaf_nodes`; the page id
+        lets a caller name a leaf as a serializable work-unit payload (the
+        engine's :class:`~repro.engine.units.WorkUnit` plane) and re-open
+        it later through :meth:`peek_node` without charging it twice.
+        """
         if self.root_page is None:
             return
         if order not in ("dfs", "hilbert"):
@@ -270,9 +283,10 @@ class RTree:
         domain = self.domain() if order == "hilbert" else None
         stack: List[int] = [self.root_page]
         while stack:
-            node = self.read_node(stack.pop())
+            page_id = stack.pop()
+            node = self.read_node(page_id)
             if node.is_leaf:
-                yield node
+                yield page_id, node
                 continue
             children = list(node.entries)
             if order == "hilbert":

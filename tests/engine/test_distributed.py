@@ -1,0 +1,373 @@
+"""The distributed execution tier: units, coordinator, wire, nodes.
+
+Covers the three planes the tier is built from —
+
+* the :class:`WorkUnit` descriptors every sharding algorithm enumerates
+  (serializable, ordered, wire-round-trippable);
+* the pull-based :class:`UnitCoordinator` (on-demand handout = work
+  stealing under skew, carry pipeline in chained mode, ordered merge);
+* the node plane (:mod:`repro.engine.node`): wire codecs that round-trip
+  statistics and the REUSE carry bit-for-bit, and real node subprocesses
+  driven through the NDJSON protocol, including a forced steal where a
+  deliberately slowed node cedes the queue to the fast one.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.datasets.synthetic import uniform_points
+from repro.engine import (
+    Assignment,
+    DistributedExecutor,
+    EngineConfig,
+    UnitCoordinator,
+    WorkUnit,
+    default_algorithms,
+)
+from repro.engine import node as node_plane
+from repro.engine.algorithms import JoinContext
+from repro.experiments.drivers.common import fresh_workload
+from repro.geometry import ConvexPolygon, Point
+from repro.join.conditional_filter import FilterStats
+from repro.join.result import JoinStats
+from repro.storage.counters import IOCounters
+from repro.voronoi import VoronoiCell
+
+POINTS_P = uniform_points(150, seed=3)
+POINTS_Q = uniform_points(140, seed=11)
+
+
+def make_units(count: int, needs_carry: bool = False):
+    return [
+        WorkUnit(algorithm="nm", index=i, payload=(100 + i,), needs_carry=needs_carry)
+        for i in range(count)
+    ]
+
+
+class FakeResult:
+    """Just enough of a ShardResult for coordinator-level tests."""
+
+    def __init__(self, index: int, carry=None):
+        self.index = index
+        self.carry = carry
+
+
+class TestWorkUnit:
+    def test_wire_round_trip(self):
+        unit = WorkUnit(
+            algorithm="fm",
+            index=3,
+            payload=((4, 9), (6, 12)),
+            needs_carry=False,
+        )
+        assert WorkUnit.from_wire(unit.to_wire()) == unit
+
+    def test_wire_round_trip_scalar_payload(self):
+        unit = WorkUnit(algorithm="nm", index=0, payload=(17,), needs_carry=True)
+        restored = WorkUnit.from_wire(unit.to_wire())
+        assert restored == unit
+        assert restored.payload == (17,)
+
+    def test_units_order_by_index(self):
+        units = make_units(5)
+        assert sorted(units[::-1]) == units
+
+
+class TestUnitCoordinator:
+    def test_pull_order_and_trace(self):
+        coordinator = UnitCoordinator(make_units(3))
+        first = coordinator.next_assignment("a")
+        second = coordinator.next_assignment("b")
+        third = coordinator.next_assignment("a")
+        assert (first.index, second.index, third.index) == (0, 1, 2)
+        assert coordinator.next_assignment("b") is None
+        assert coordinator.assignments == {"a": [0, 2], "b": [1]}
+
+    def test_merge_requires_every_result(self):
+        coordinator = UnitCoordinator(make_units(2))
+        coordinator.next_assignment("a")
+        coordinator.record_result(0, FakeResult(0))
+        with pytest.raises(RuntimeError, match="missing results"):
+            coordinator.results_in_order()
+
+    def test_results_ordered_by_unit_not_by_arrival(self):
+        coordinator = UnitCoordinator(make_units(3))
+        for _ in range(3):
+            coordinator.next_assignment("a")
+        for index in (2, 0, 1):  # out-of-order arrival
+            coordinator.record_result(index, FakeResult(index))
+        assert [r.index for r in coordinator.results_in_order()] == [0, 1, 2]
+
+    def test_chained_mode_is_a_pipeline(self):
+        coordinator = UnitCoordinator(make_units(3, needs_carry=True), chained=True)
+        first = coordinator.next_assignment("a")
+        assert first.carry is None
+
+        handed = []
+
+        def second_puller():
+            handed.append(coordinator.next_assignment("b"))
+
+        thread = threading.Thread(target=second_puller)
+        thread.start()
+        thread.join(timeout=0.2)
+        # Unit 1 must not be handed out while unit 0 is outstanding.
+        assert thread.is_alive()
+
+        coordinator.record_result(0, FakeResult(0, carry={"cells": 7}))
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        # The pipeline seeds the successor with the predecessor's carry.
+        assert handed[0].index == 1
+        assert handed[0].carry == {"cells": 7}
+
+    def test_abort_unblocks_chained_waiters(self):
+        coordinator = UnitCoordinator(make_units(2, needs_carry=True), chained=True)
+        coordinator.next_assignment("a")  # leaves the pipeline outstanding
+        handed = []
+
+        def blocked_puller():
+            handed.append(coordinator.next_assignment("b"))
+
+        thread = threading.Thread(target=blocked_puller)
+        thread.start()
+        coordinator.abort(RuntimeError("node died"))
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        assert handed == [None]
+        assert isinstance(coordinator.error, RuntimeError)
+
+    def test_work_stealing_under_a_stuck_worker(self):
+        """A worker that stops pulling simply stops receiving units — the
+        others drain the whole queue without any stealing protocol."""
+        coordinator = UnitCoordinator(make_units(6))
+        stuck = coordinator.next_assignment("stuck")
+        assert stuck.index == 0
+        drained = []
+        while True:
+            assignment = coordinator.next_assignment("fast")
+            if assignment is None:
+                break
+            drained.append(assignment.index)
+        assert drained == [1, 2, 3, 4, 5]
+        assert coordinator.assignments == {"stuck": [0], "fast": drained}
+
+    def test_peek_pending_is_non_consuming(self):
+        coordinator = UnitCoordinator(make_units(4))
+        coordinator.next_assignment("a")
+        peeked = coordinator.peek_pending(2)
+        assert [u.index for u in peeked] == [1, 2]
+        assert coordinator.next_assignment("a").index == 1
+
+
+def triangle_cell(oid: int) -> VoronoiCell:
+    polygon = ConvexPolygon(
+        [Point(0.125, 0.25), Point(10.5, 0.75), Point(5.0625, 9.875)]
+    )
+    return VoronoiCell(oid, Point(5.03125, 3.4375), polygon)
+
+
+class TestWireCodecs:
+    def test_stats_round_trip(self):
+        stats = JoinStats(algorithm="NM-CIJ")
+        stats.join_page_accesses = 41
+        stats.cells_computed_p = 17
+        stats.cells_reused_p = 5
+        stats.cells_cached_p = 2
+        stats.filter_candidates = 99
+        stats.filter_true_hits = 88
+        stats.record_progress(10, 100)
+        stats.record_progress(20, 250)
+        restored = node_plane.stats_from_wire(node_plane.stats_to_wire(stats))
+        assert restored == stats
+
+    def test_counters_round_trip(self):
+        counters = IOCounters()
+        counters.reads = 12
+        counters.writes = 3
+        counters.logical_reads = 40
+        counters.buffer_hits = 28
+        counters.by_tag = {"tree_p": 7, "tree_q": 5}
+        restored = node_plane.counters_from_wire(node_plane.counters_to_wire(counters))
+        assert restored.reads == counters.reads
+        assert restored.writes == counters.writes
+        assert restored.logical_reads == counters.logical_reads
+        assert restored.buffer_hits == counters.buffer_hits
+        assert restored.by_tag == counters.by_tag
+
+    def test_carry_round_trip_bit_for_bit(self):
+        carry = {4: triangle_cell(4), 9: triangle_cell(9)}
+        restored = node_plane.carry_from_wire(node_plane.carry_to_wire(carry))
+        assert sorted(restored) == [4, 9]
+        for oid, cell in carry.items():
+            twin = restored[oid]
+            assert twin.oid == oid
+            assert (twin.site.x, twin.site.y) == (cell.site.x, cell.site.y)
+            assert [(v.x, v.y) for v in twin.polygon.vertices] == [
+                (v.x, v.y) for v in cell.polygon.vertices
+            ]
+
+    def test_none_carry_round_trips(self):
+        assert node_plane.carry_to_wire(None) is None
+        assert node_plane.carry_from_wire(None) is None
+
+
+def execute_distributed(executor: DistributedExecutor, workload, algorithm="nm"):
+    """Drive the executor directly (as the engine would) on a workload."""
+    from repro.voronoi.single import CellComputationStats
+
+    algo = {a.name: a for a in default_algorithms()}[algorithm]
+    config = EngineConfig(
+        executor="distributed",
+        nodes=executor.nodes,
+        storage=workload.disk.storage_backend,
+    )
+    ctx = JoinContext(
+        tree_p=workload.tree_p,
+        tree_q=workload.tree_q,
+        domain=workload.domain,
+        config=config,
+        stats=JoinStats(algorithm=algo.display_name),
+        cell_stats=CellComputationStats(),
+        filter_stats=FilterStats(),
+        start_counters=workload.disk.counters.snapshot(),
+    )
+    algo.prepare(ctx)  # a no-op for NM; keeps the call shape honest
+    pairs = executor.execute(algo, ctx)
+    return pairs, ctx
+
+
+class TestDistributedExecutor:
+    def test_forced_steal_with_a_slow_node(self):
+        """Slowing node-0 makes node-1 drain the queue — the pull loop *is*
+        the work-stealing behaviour — while the merged pairs stay identical
+        to a run with no delay at all."""
+        workload = fresh_workload(POINTS_P, POINTS_Q, storage="file")
+        try:
+            fair = DistributedExecutor(nodes=2, reuse_handoff="never")
+            fair_pairs, _ = execute_distributed(fair, workload)
+        finally:
+            workload.close()
+
+        workload = fresh_workload(POINTS_P, POINTS_Q, storage="file")
+        try:
+            skewed = DistributedExecutor(
+                nodes=2, reuse_handoff="never", node_delays=[0.25, 0.0]
+            )
+            skewed_pairs, _ = execute_distributed(skewed, workload)
+        finally:
+            workload.close()
+
+        assert skewed_pairs == fair_pairs
+        counts = {w: len(ids) for w, ids in skewed.last_assignments.items()}
+        assert set(counts) == {"node-0", "node-1"}
+        # Every node pulls its first unit immediately; after that the
+        # sleeping node keeps losing the race for the queue.
+        assert counts["node-1"] > counts["node-0"]
+        total = sum(counts.values())
+        assert sorted(
+            i for ids in skewed.last_assignments.values() for i in ids
+        ) == list(range(total))
+
+    def test_single_node_runs_whole_queue(self):
+        workload = fresh_workload(POINTS_P, POINTS_Q, storage="sqlite")
+        try:
+            executor = DistributedExecutor(nodes=1)
+            pairs, ctx = execute_distributed(executor, workload)
+        finally:
+            workload.close()
+        assert pairs
+        assert list(executor.last_assignments) == ["node-0"]
+        # Node counters were absorbed into the parent's disk accounting.
+        assert ctx.stats is not None
+
+    def test_more_nodes_than_units_spawns_only_needed(self):
+        workload = fresh_workload(POINTS_P[:30], POINTS_Q[:30], storage="file")
+        try:
+            executor = DistributedExecutor(nodes=16)
+            pairs, _ = execute_distributed(executor, workload)
+        finally:
+            workload.close()
+        assert pairs
+        assert len(executor.last_assignments) <= 16
+
+    def test_rejects_brute(self):
+        workload = fresh_workload(POINTS_P[:30], POINTS_Q[:30], storage="file")
+        try:
+            with pytest.raises(ValueError, match="distributed"):
+                execute_distributed(
+                    DistributedExecutor(nodes=2), workload, algorithm="brute"
+                )
+        finally:
+            workload.close()
+
+    def test_rejects_memory_backend(self):
+        workload = fresh_workload(POINTS_P[:30], POINTS_Q[:30], storage="memory")
+        try:
+            with pytest.raises(ValueError, match="on-disk shared backend"):
+                execute_distributed(DistributedExecutor(nodes=2), workload)
+        finally:
+            workload.close()
+
+    def test_nonpositive_nodes_rejected(self):
+        with pytest.raises(ValueError, match="nodes"):
+            DistributedExecutor(nodes=0)
+        with pytest.raises(ValueError, match="nodes"):
+            EngineConfig(nodes=0)
+
+    def test_distributed_config_rejects_prefetch(self):
+        with pytest.raises(ValueError, match="prefetch"):
+            EngineConfig(executor="distributed", prefetch="next_batch")
+
+
+class TestNodeProtocol:
+    def test_bad_init_spec_surfaces_as_runtime_error(self):
+        spec = {"version": 999, "algorithm": "nm"}
+        node = node_plane.NodeProcess(worker_id="node-x", spec=spec)
+        try:
+            with pytest.raises(RuntimeError):
+                node.wait_ready()
+        finally:
+            node.shutdown()
+
+    def test_node_executes_units_and_round_trips_results(self):
+        workload = fresh_workload(POINTS_P[:60], POINTS_Q[:60], storage="file")
+        try:
+            algo = {a.name: a for a in default_algorithms()}["nm"]
+            from repro.voronoi.single import CellComputationStats
+
+            config = EngineConfig(executor="distributed", nodes=1, storage="file")
+            ctx = JoinContext(
+                tree_p=workload.tree_p,
+                tree_q=workload.tree_q,
+                domain=workload.domain,
+                config=config,
+                stats=JoinStats(algorithm=algo.display_name),
+                cell_stats=CellComputationStats(),
+                filter_stats=FilterStats(),
+                start_counters=workload.disk.counters.snapshot(),
+            )
+            units = algo.work_units(ctx)
+            assert units, "workload produced no leaf units"
+            spec = node_plane.node_init_spec(algo, ctx, handoff=True)
+            node = node_plane.NodeProcess(worker_id="node-t", spec=spec)
+            try:
+                node.wait_ready()
+                carry = None
+                results = []
+                for unit in units:
+                    result = node.run_unit(
+                        Assignment(index=unit.index, unit=unit, carry=carry)
+                    )
+                    carry = result.carry
+                    results.append(result)
+            finally:
+                node.shutdown()
+            merged = [pair for result in results for pair in result.pairs]
+            serial_ctx_pairs = algo.run_join(ctx)
+            assert merged == serial_ctx_pairs
+        finally:
+            workload.close()

@@ -49,7 +49,7 @@ class TestEngineAPI:
 
     def test_unknown_executor_rejected(self):
         with pytest.raises(ValueError, match="unknown executor"):
-            EngineConfig(executor="distributed")
+            EngineConfig(executor="ray")
 
     def test_unknown_pool_rejected(self):
         with pytest.raises(ValueError, match="unknown pool"):

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.datasets.synthetic import uniform_points
+from repro.datasets.synthetic import clustered_points, uniform_points
 from repro.engine import default_engine
 from repro.experiments.drivers.common import run_cij
 from repro.join.result import CIJResult
@@ -20,6 +20,9 @@ from repro.storage.backends import STORAGE_BACKENDS
 
 POINTS_P = uniform_points(240, seed=3)
 POINTS_Q = uniform_points(210, seed=11)
+
+#: Backends a node subprocess can reopen (the distributed tier's domain).
+ON_DISK_BACKENDS = ("file", "sqlite")
 
 
 def stats_fingerprint(result: CIJResult) -> dict:
@@ -101,6 +104,144 @@ class TestBackendEquivalence:
         for backend in STORAGE_BACKENDS[1:]:
             for algorithm in ("nm", "pm", "fm"):
                 assert set(run_on(backend, algorithm).pairs) == oracle, algorithm
+
+
+class TestDistributedEquivalence:
+    """The distributed tier must be invisible in the merged output.
+
+    ``executor="distributed"`` runs the same work units on node
+    subprocesses that reopen the shared on-disk backend read-only; the
+    coordinator merges results in unit index order, so pairs, ``JoinStats``
+    and the deterministic counters must be byte-identical to the serial
+    run on both backends the tier supports — including the REUSE-handoff
+    pipeline, which the distributed executor chains by default.
+    """
+
+    @pytest.mark.parametrize("backend", ON_DISK_BACKENDS)
+    def test_distributed_fm_stats_identical_to_serial(self, backend):
+        """FM partitions carry no cross-unit state, so the full
+        fingerprint — progress curve included — matches serial."""
+        serial = run_on(backend, "fm")
+        distributed = run_on(backend, "fm", executor="distributed", nodes=2)
+        assert distributed.pairs == serial.pairs
+        assert stats_fingerprint(distributed) == stats_fingerprint(serial)
+
+    @pytest.mark.parametrize("algorithm", ["nm", "pm"])
+    @pytest.mark.parametrize("backend", ON_DISK_BACKENDS)
+    def test_distributed_scalar_counters_identical_to_serial(
+        self, backend, algorithm
+    ):
+        """Default distributed NM/PM matches every scalar serial counter.
+
+        For NM that relies on ``reuse_handoff="auto"`` resolving to the
+        chained pipeline on the distributed executor, which restores the
+        serial recomputation counts exactly.  Progress samples keep the
+        serial pair milestones at different access offsets (the executor
+        enumerates the leaf units up front; serial interleaves them).
+        """
+        serial = run_on(backend, algorithm)
+        distributed = run_on(backend, algorithm, executor="distributed", nodes=2)
+        assert distributed.pairs == serial.pairs
+        serial_fp = stats_fingerprint(serial)
+        distributed_fp = stats_fingerprint(distributed)
+        serial_fp.pop("progress"), distributed_fp.pop("progress")
+        assert distributed_fp == serial_fp
+        assert [s.pairs_reported for s in distributed.stats.progress] == [
+            s.pairs_reported for s in serial.stats.progress
+        ]
+
+    @pytest.mark.parametrize("backend", ON_DISK_BACKENDS)
+    def test_distributed_nm_matches_sharded_pipeline_bytes(self, backend):
+        """Node subprocesses and the inline pool run the same chained unit
+        pipeline, so the full merged fingerprint agrees between them."""
+        sharded = run_on(
+            backend,
+            "nm",
+            executor="sharded",
+            workers=2,
+            pool="inline",
+            reuse_handoff="always",
+        )
+        distributed = run_on(backend, "nm", executor="distributed", nodes=2)
+        assert distributed.pairs == sharded.pairs
+        assert stats_fingerprint(distributed) == stats_fingerprint(sharded)
+
+    def test_distributed_rejects_memory_backend(self):
+        with pytest.raises(ValueError, match="on-disk shared backend"):
+            run_on("memory", "nm", executor="distributed", nodes=2)
+
+
+class TestSkewedWorkloadScheduling:
+    """Pull scheduling balances a skewed workload without changing bytes.
+
+    A clustered ``Q`` concentrates most points — and most join work — in a
+    few Hilbert-adjacent leaves, the workload where static contiguous
+    chunking leaves one worker with nearly all the expensive units while
+    the rest idle.  The coordinator hands units out on demand instead:
+    every worker keeps pulling until the queue is dry, so no worker can be
+    left with the whole queue, and the unit-order merge keeps the output
+    byte-identical to serial regardless of who executed what.
+    """
+
+    #: Three dense clusters + uniform background: leaf costs vary wildly.
+    SKEWED_Q = clustered_points(360, clusters=3, seed=5)
+
+    def test_distributed_pull_balances_skewed_units(self):
+        serial = run_cij("pm", POINTS_P, self.SKEWED_Q, storage="file")
+        distributed = run_cij(
+            "pm",
+            POINTS_P,
+            self.SKEWED_Q,
+            storage="file",
+            executor="distributed",
+            nodes=2,
+        )
+        trace = default_engine().last_executor.last_assignments
+
+        # Merged output: byte-identical to serial despite dynamic
+        # assignment (scalars and pair milestones; access offsets shift
+        # because the executor enumerates the leaf units up front).
+        assert distributed.pairs == serial.pairs
+        serial_fp = stats_fingerprint(serial)
+        distributed_fp = stats_fingerprint(distributed)
+        serial_fp.pop("progress"), distributed_fp.pop("progress")
+        assert distributed_fp == serial_fp
+
+        # Scheduling: both nodes really pulled work (each drive thread
+        # pulls its first unit before any result returns), no node was
+        # handed the entire queue, and together they covered every unit
+        # exactly once.
+        assert sorted(trace) == ["node-0", "node-1"]
+        counts = {worker: len(indices) for worker, indices in trace.items()}
+        total = sum(counts.values())
+        assert total >= 4
+        assert min(counts.values()) >= 1
+        assert max(counts.values()) < total
+        assert sorted(i for indices in trace.values() for i in indices) == list(
+            range(total)
+        )
+
+    def test_sharded_fork_pull_balances_skewed_units(self):
+        serial = run_cij("pm", POINTS_P, self.SKEWED_Q, storage="memory")
+        sharded = run_cij(
+            "pm",
+            POINTS_P,
+            self.SKEWED_Q,
+            storage="memory",
+            executor="sharded",
+            workers=2,
+        )
+        trace = default_engine().last_executor.last_assignments
+        assert sharded.pairs == serial.pairs
+
+        counts = {worker: len(indices) for worker, indices in trace.items()}
+        total = sum(counts.values())
+        assert sorted(i for indices in trace.values() for i in indices) == list(
+            range(total)
+        )
+        if len(counts) >= 2:  # pool="auto" may have fallen back to inline
+            assert min(counts.values()) >= 1
+            assert max(counts.values()) < total
 
 
 class TestPrefetchEquivalence:

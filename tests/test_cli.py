@@ -221,3 +221,70 @@ class TestUpdateStreams:
         assert main(["join", "--n-p", "30", "--n-q", "20", "--updates", str(path)]) == 2
         err = capsys.readouterr().err
         assert "update batch 1" in err and "no such point" in err
+
+
+class TestDistributedFlags:
+    """--executor distributed / --nodes: the distributed tier's CLI surface.
+
+    Contradictions (nodes without the distributed executor, the
+    non-sharding brute oracle, update streams) are rejected loudly with
+    exit code 2, in the same style as --workers and --updates.
+    """
+
+    def test_distributed_join_runs_on_file_backend(self, capsys, tmp_path):
+        assert main([
+            "join", "--n-p", "40", "--n-q", "30",
+            "--storage", "file", "--storage-path", str(tmp_path / "pages.bin"),
+            "--executor", "distributed", "--nodes", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "executor        : distributed (2 nodes)" in out
+        assert "result pairs" in out
+
+    def test_nodes_with_serial_executor_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["join", "--nodes", "2"])  # serial is the default
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "no effect with --executor serial" in err
+
+    def test_nodes_with_sharded_executor_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["join", "--executor", "sharded", "--nodes", "2"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "no effect with --executor sharded" in err
+
+    def test_nonpositive_nodes_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["join", "--executor", "distributed", "--nodes", "0"])
+        assert excinfo.value.code == 2
+        assert "--nodes must be at least 1" in capsys.readouterr().err
+
+    def test_distributed_brute_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "join", "--method", "brute",
+                "--storage", "file", "--executor", "distributed",
+            ])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "cannot run --method brute" in err
+
+    def test_distributed_with_updates_rejected(self, capsys, stream_file):
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "join", "--updates", stream_file,
+                "--storage", "file", "--executor", "distributed",
+            ])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--updates requires --executor serial" in err
+
+    def test_distributed_memory_backend_reports_error(self, capsys):
+        # No --storage: the default memory backend cannot be shared with
+        # node subprocesses; the engine's rejection surfaces as exit 2.
+        assert main([
+            "join", "--n-p", "30", "--n-q", "20", "--executor", "distributed",
+        ]) == 2
+        assert "on-disk shared backend" in capsys.readouterr().err
