@@ -105,6 +105,9 @@ def common_influence_join(
     executor: str = "serial",
     workers: int = 2,
     nodes: int = 2,
+    node_timeout: Optional[float] = None,
+    node_retries: Optional[int] = None,
+    fault_plan: Optional[str] = None,
     reuse_handoff: str = "auto",
     storage: Optional[str] = None,
     storage_path: Optional[str] = None,
@@ -143,6 +146,12 @@ def common_influence_join(
         (requires ``storage="file"`` or ``"sqlite"``).  Every CIJ variant
         shards; only the brute-force oracle does not.  Merged pairs and
         deterministic counters are byte-identical across executors.
+    node_timeout, node_retries, fault_plan:
+        Fault-tolerance knobs of the distributed tier: seconds of node
+        silence before a hang is declared, how many times a failed unit
+        may be retried on another node, and a deterministic
+        fault-injection spec (:mod:`repro.engine.faults`) for testing.
+        ``None`` keeps the engine defaults (60 s, 2 retries, no faults).
     reuse_handoff:
         Whether a sharded NM-CIJ hands its REUSE buffer across shard
         boundaries (``"auto"``/``"always"``/``"never"``; see
@@ -199,6 +208,9 @@ def common_influence_join(
             executor=executor,
             workers=workers,
             nodes=nodes,
+            node_timeout=node_timeout,
+            node_retries=node_retries,
+            fault_plan=fault_plan,
             reuse_handoff=reuse_handoff,
             storage=storage,
             storage_path=storage_path,

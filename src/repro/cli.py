@@ -117,6 +117,31 @@ def build_parser() -> argparse.ArgumentParser:
         "only valid with --executor distributed)",
     )
     join.add_argument(
+        "--node-timeout",
+        type=float,
+        default=None,
+        help="seconds of node silence (no reply, no heartbeat) before the "
+        "distributed executor quarantines a hung node and retries its unit "
+        "elsewhere (default 60; only valid with --executor distributed)",
+    )
+    join.add_argument(
+        "--node-retries",
+        type=int,
+        default=None,
+        help="times one unit may be re-run on another node after a node "
+        "failure; 0 aborts on the first failure (default 2; only valid "
+        "with --executor distributed)",
+    )
+    join.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="SPEC",
+        help="deterministic fault injection for the distributed tier, e.g. "
+        "'crash@node-1:after=2;ready_delay@node-0:seconds=0.2' — merged "
+        "pairs and counters stay byte-identical to serial regardless "
+        "(testing knob; only valid with --executor distributed)",
+    )
+    join.add_argument(
         "--reuse-handoff",
         default=None,
         choices=("auto", "always", "never"),
@@ -283,6 +308,38 @@ def _validate_nodes(parser: argparse.ArgumentParser, args: argparse.Namespace) -
     return args.nodes if args.nodes is not None else 2
 
 
+def _validate_fault_tolerance(
+    parser: argparse.ArgumentParser, args: argparse.Namespace
+) -> None:
+    """Validate the distributed fault-tolerance flags.
+
+    All three only mean something to the distributed executor; a bad
+    fault-plan spec is rejected at parse time, not deep inside a run.
+    """
+    for flag, value in (
+        ("--node-timeout", args.node_timeout),
+        ("--node-retries", args.node_retries),
+        ("--fault-plan", args.fault_plan),
+    ):
+        if value is not None and args.executor != "distributed":
+            parser.error(
+                f"{flag} configures distributed node fault tolerance and has "
+                f"no effect with --executor {args.executor}; use "
+                "--executor distributed"
+            )
+    if args.node_timeout is not None and args.node_timeout <= 0:
+        parser.error(f"--node-timeout must be positive (got {args.node_timeout})")
+    if args.node_retries is not None and args.node_retries < 0:
+        parser.error(f"--node-retries must be >= 0 (got {args.node_retries})")
+    if args.fault_plan is not None:
+        from repro.engine.faults import FaultPlan
+
+        try:
+            FaultPlan.from_spec(args.fault_plan)
+        except ValueError as error:
+            parser.error(f"--fault-plan: {error}")
+
+
 def _validate_updates(parser: argparse.ArgumentParser, args: argparse.Namespace) -> None:
     """Reject executor/handoff combinations that contradict ``--updates``.
 
@@ -328,6 +385,9 @@ def _cmd_join(
     prefetch_depth: Optional[int] = None,
     fetch_latency_ms: Optional[float] = None,
     compute: Optional[str] = None,
+    node_timeout: Optional[float] = None,
+    node_retries: Optional[int] = None,
+    fault_plan: Optional[str] = None,
 ) -> int:
     points_p = uniform_points(n_p, seed=seed)
     points_q = uniform_points(n_q, seed=seed + 10_000)
@@ -341,6 +401,9 @@ def _cmd_join(
             executor=executor,
             workers=workers,
             nodes=nodes,
+            node_timeout=node_timeout,
+            node_retries=node_retries,
+            fault_plan=fault_plan,
             reuse_handoff=reuse_handoff,
             storage=storage,
             storage_path=storage_path,
@@ -356,6 +419,7 @@ def _cmd_join(
     print(f"algorithm       : {stats.algorithm}")
     if executor == "distributed":
         print(f"executor        : {executor} ({nodes} nodes)")
+        _print_fault_report(fault_plan)
     elif executor != "serial":
         print(f"executor        : {executor} ({workers} workers)")
     if storage is not None:
@@ -379,6 +443,37 @@ def _cmd_join(
             f"{io.overlap_time * 1000:.1f} ms overlapped with compute"
         )
     return 0
+
+
+def _print_fault_report(fault_plan: Optional[str]) -> None:
+    """Summarise the last distributed run's fault-tolerance activity.
+
+    The report lives on the executor (not in :class:`JoinStats`): the
+    statistics fingerprint must stay byte-identical to serial, faults or
+    not, so retry/quarantine accounting is deliberately out-of-band.
+    """
+    from repro import default_engine
+
+    executor = getattr(default_engine(), "last_executor", None)
+    report = getattr(executor, "last_run_report", None)
+    if report is None:
+        return
+    if fault_plan is not None:
+        print(f"fault plan      : {report.get('faults_planned')}")
+    quarantined = report.get("quarantined") or {}
+    retries = report.get("retries") or {}
+    if quarantined:
+        names = ", ".join(
+            f"{node} ({reason.split(':', 1)[0]})"
+            for node, reason in sorted(quarantined.items())
+        )
+        print(f"quarantined     : {len(quarantined)} node(s): {names}")
+    if retries:
+        total = sum(retries.values())
+        units = ", ".join(str(index) for index in sorted(retries))
+        print(f"units retried   : {total} retry(ies) over unit(s) {units}")
+    if fault_plan is not None and not quarantined and not retries:
+        print("fault outcome   : no node failures observed")
 
 
 def _cmd_join_with_updates(
@@ -492,6 +587,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "join":
         workers = _validate_workers(parser, args)
         nodes = _validate_nodes(parser, args)
+        _validate_fault_tolerance(parser, args)
         _validate_updates(parser, args)
         return _cmd_join(
             args.n_p,
@@ -509,6 +605,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.prefetch_depth,
             args.fetch_latency_ms,
             args.compute,
+            args.node_timeout,
+            args.node_retries,
+            args.fault_plan,
         )
     parser.error(f"unhandled command {args.command!r}")
     return 2

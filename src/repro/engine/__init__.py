@@ -50,7 +50,27 @@ from repro.engine.executors import (
     ShardResult,
     executor_for,
 )
+from repro.engine.faults import Fault, FaultPlan
 from repro.engine.units import WorkUnit
+
+#: Node failure taxonomy, exported lazily: :mod:`repro.engine.node` pulls
+#: in the service protocol, whose package import would recurse back into
+#: this module during ``repro.dynamic`` initialisation.
+_NODE_EXPORTS = (
+    "NodeFailure",
+    "NodeCrashed",
+    "NodeTimeout",
+    "NodeError",
+    "NodeProtocolError",
+)
+
+
+def __getattr__(name):
+    if name in _NODE_EXPORTS:
+        from repro.engine import node
+
+        return getattr(node, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "EngineConfig",
@@ -68,6 +88,13 @@ __all__ = [
     "WorkUnit",
     "UnitCoordinator",
     "Assignment",
+    "Fault",
+    "FaultPlan",
+    "NodeFailure",
+    "NodeCrashed",
+    "NodeTimeout",
+    "NodeError",
+    "NodeProtocolError",
     "default_algorithms",
     "default_engine",
     "executor_for",

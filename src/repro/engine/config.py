@@ -60,6 +60,31 @@ class EngineConfig:
         with its own read-only handle on the shared backend, so the tier
         needs an on-disk store (``file`` or ``sqlite``; ``memory`` is
         rejected at execution time).
+    node_timeout:
+        Seconds of per-request *silence* (no reply, no heartbeat) after
+        which the distributed executor declares a node hung, quarantines
+        it and releases its leased unit back to the queue.  Heartbeats
+        count as liveness, so a slow-but-alive unit computation does not
+        trip the timeout.
+    node_retries:
+        How many times one unit may be re-leased to another node after
+        its worker failed (crash, hang, protocol error).  ``0`` restores
+        the pre-fault-tolerance behaviour: the first node failure aborts
+        the run.  A unit that fails on ``node_retries + 1`` workers is
+        treated as poisoned and aborts the run loudly.
+    node_min_ready:
+        Readiness quorum that opens the distributed drive phase.  ``None``
+        (default) waits for every spawned node — the original all-nodes
+        barrier, which keeps unit pulls balanced.  A smaller value starts
+        the run as soon as that many nodes are up; slower nodes join the
+        pull loop mid-run (elastic late join).
+    fault_plan:
+        Deterministic fault-injection spec for the distributed tier
+        (:mod:`repro.engine.faults`), e.g.
+        ``"crash@node-1:after=2;ready_delay@node-0:seconds=0.2"``.
+        Testing/chaos knob: merged pairs and deterministic counters must
+        stay byte-identical to serial no matter which faults fire.  Only
+        meaningful with ``executor="distributed"``.
     pool:
         ``"fork"`` runs shards in forked ``multiprocessing`` workers,
         ``"inline"`` runs them sequentially in-process (same shard/merge
@@ -145,6 +170,10 @@ class EngineConfig:
     executor: str = "serial"
     workers: int = 2
     nodes: int = 2
+    node_timeout: float = 60.0
+    node_retries: int = 2
+    node_min_ready: Optional[int] = None
+    fault_plan: Optional[str] = None
     pool: str = "auto"
     reuse_handoff: str = "auto"
     reuse_cells: bool = True
@@ -175,6 +204,21 @@ class EngineConfig:
             raise ValueError("workers must be at least 1")
         if self.nodes < 1:
             raise ValueError("nodes must be at least 1")
+        if self.node_timeout <= 0:
+            raise ValueError("node_timeout must be positive")
+        if self.node_retries < 0:
+            raise ValueError("node_retries must be >= 0")
+        if self.node_min_ready is not None and self.node_min_ready < 1:
+            raise ValueError("node_min_ready must be at least 1")
+        if self.fault_plan is not None:
+            if self.executor != "distributed":
+                raise ValueError(
+                    "fault_plan injects node faults and requires "
+                    "executor='distributed'"
+                )
+            from repro.engine.faults import FaultPlan
+
+            FaultPlan.from_spec(self.fault_plan)  # fail fast on a bad spec
         if self.executor == "distributed" and self.prefetch != "off":
             raise ValueError(
                 "prefetch is not available with executor='distributed': "

@@ -9,27 +9,44 @@ for the next unit when they finish the previous one, so a worker stuck on
 an expensive unit simply stops pulling while the others drain the queue —
 which is work stealing without a stealing protocol.
 
+Assignment is *lease*-based, not consuming: a pulled unit stays owned by
+the queue until its result is recorded.  When a worker dies mid-unit the
+executor releases the lease and the unit returns to the queue for any
+live worker — safe because every unit is a pure function of the shared
+read-only backend, so re-execution yields byte-identical results and the
+only cost of a failure is one unit's recomputation.  Releases are
+bounded: a unit handed out ``max_attempts`` times without a result aborts
+the run loudly instead of cycling forever through a poisoned unit.
+
 Determinism is preserved by separating *assignment* from *merge order*:
-whichever worker produced a unit's result, results are folded back in unit
-index order, so the merged pair list and every merged statistic are
-byte-identical to the serial traversal (and to any other assignment).
+whichever worker (or retry) produced a unit's result, results are folded
+back in unit index order, so the merged pair list and every merged
+statistic are byte-identical to the serial traversal (and to any other
+assignment).  Duplicate results for one unit — a slow worker finishing a
+unit the queue already reassigned — are idempotently ignored: the first
+recorded result wins, and since units are pure the loser was identical
+anyway.
 
 For carry-chained algorithms (NM-CIJ with the REUSE handoff) the
 coordinator degrades to a pipeline: unit ``k+1`` is not handed out until
 unit ``k``'s result — whose outbound REUSE buffer seeds ``k+1`` — has been
 recorded.  That reproduces the serial reuse chain exactly (work-optimal,
 not wall-clock-optimal), matching the fork pool's boundary pipeline from
-the pre-coordinator executor.
+the pre-coordinator executor.  A released chained unit rewinds the
+pipeline to its *recorded predecessor carry* (persisted with every
+result), so a retry re-runs from exactly the inbound state the dead
+worker saw.
 
 The same coordinator instance serves every worker plane: the inline loop,
 fork-pool dispatcher threads, and the per-node driver threads of the
 distributed executor all call :meth:`next_assignment` /
-:meth:`record_result` under one lock.
+:meth:`record_result` / :meth:`release` under one lock.
 """
 
 from __future__ import annotations
 
 import threading
+from bisect import insort
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -44,21 +61,38 @@ class Assignment:
     index: int
     unit: WorkUnit
     carry: Optional[object] = None
+    #: 1 for the first handout of the unit, 2 for its first retry, ...
+    attempt: int = 1
 
 
 class UnitCoordinator:
-    """Owns the unit queue, hands out work on demand, merges in order.
+    """Owns the unit queue, leases work on demand, merges in order.
 
     Thread-safe; one instance per join execution.  ``chained`` turns the
     queue into a carry pipeline (at most one unit outstanding at a time).
+    ``max_attempts`` bounds how many times one unit may be leased before
+    the run aborts (1 = no retries, the pre-fault-tolerance behaviour).
     """
 
-    def __init__(self, units: Sequence[WorkUnit], chained: bool = False):
+    def __init__(
+        self,
+        units: Sequence[WorkUnit],
+        chained: bool = False,
+        max_attempts: int = 1,
+    ):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
         self._units: List[WorkUnit] = list(units)
         self._chained = chained
+        self._max_attempts = max_attempts
         self._lock = threading.Lock()
         self._ready = threading.Condition(self._lock)
-        self._next_index = 0
+        #: Unit indices awaiting (re)assignment, ascending.
+        self._pending: List[int] = list(range(len(self._units)))
+        #: Outstanding leases: unit index -> worker id.
+        self._leases: Dict[int, str] = {}
+        #: Times each unit has been handed out.
+        self._attempts: Dict[int, int] = {}
         self._results: Dict[int, object] = {}
         self._carry: Optional[object] = None
         self._carry_ready = True  # the first unit needs no inbound carry
@@ -68,45 +102,101 @@ class UnitCoordinator:
         #: per-worker counts stay balanced, and across runs the traces may
         #: differ while the merged output does not.
         self.assignments: Dict[str, List[int]] = {}
+        #: unit index -> times its lease was released back to the queue
+        #: (the retry trace the fault-tolerance tests inspect).
+        self.reassignments: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # worker-facing pull API
     # ------------------------------------------------------------------
     def next_assignment(self, worker_id: str) -> Optional[Assignment]:
-        """The next unit for ``worker_id``; ``None`` when the queue is done.
+        """The next unit for ``worker_id``; ``None`` when the run is done.
 
-        In chained mode the call blocks until the previous unit's result
-        (and with it the inbound carry) is available; a recorded abort
+        Blocks while the queue is momentarily empty but leases are still
+        outstanding — a leased unit may return to the queue if its worker
+        dies — and, in chained mode, until the previous unit's result (and
+        with it the inbound carry) is available.  A recorded abort
         unblocks every waiter with ``None``.
         """
         with self._ready:
             while True:
-                if self._error is not None or self._next_index >= len(self._units):
+                if self._error is not None or self._done_locked():
                     return None
-                if self._chained and not self._carry_ready:
+                if not self._pending or (self._chained and not self._carry_ready):
                     self._ready.wait()
                     continue
-                index = self._next_index
-                self._next_index += 1
+                index = self._pending.pop(0)
+                self._attempts[index] = self._attempts.get(index, 0) + 1
+                self._leases[index] = worker_id
                 carry = self._carry if self._chained else None
                 if self._chained:
                     # Pipeline: nothing else is handed out until this
-                    # unit's outbound carry comes back.
+                    # unit's outbound carry comes back (or the lease is
+                    # released and the pipeline rewinds).
                     self._carry_ready = False
                 self.assignments.setdefault(worker_id, []).append(index)
-                return Assignment(index=index, unit=self._units[index], carry=carry)
+                return Assignment(
+                    index=index,
+                    unit=self._units[index],
+                    carry=carry,
+                    attempt=self._attempts[index],
+                )
 
     def record_result(self, index: int, result) -> None:
-        """Store one unit's :class:`ShardResult`; releases the pipeline."""
+        """Store one unit's :class:`ShardResult`; releases the pipeline.
+
+        Idempotent: a duplicate result for an already-recorded unit (a
+        worker finishing after its lease was reassigned and completed
+        elsewhere) is dropped — units are pure, so it was identical.
+        """
         with self._ready:
-            self._results[index] = result
-            if self._chained:
-                self._carry = result.carry
-                self._carry_ready = True
+            self._leases.pop(index, None)
+            if index not in self._results:
+                self._results[index] = result
+                if self._chained:
+                    self._carry = result.carry
+                    self._carry_ready = True
+            self._ready.notify_all()
+
+    def release(self, index: int, error: Optional[BaseException] = None) -> None:
+        """Return a leased unit to the queue after its worker failed.
+
+        The unit becomes available to any live worker; in chained mode the
+        carry pipeline rewinds to the unit's recorded predecessor carry,
+        so the retry re-runs from exactly the inbound state the failed
+        worker saw.  Exceeding ``max_attempts`` aborts the run instead —
+        a unit that kills every worker it touches is a poison unit, and
+        cycling it forever would be the deadlock this layer exists to
+        prevent.
+        """
+        with self._ready:
+            self._leases.pop(index, None)
+            if index in self._results or self._error is not None:
+                self._ready.notify_all()
+                return
+            attempts = self._attempts.get(index, 0)
+            if attempts >= self._max_attempts:
+                abort = RuntimeError(
+                    f"unit {index} failed on {attempts} worker(s) "
+                    f"(max_attempts={self._max_attempts}); last failure: {error}"
+                )
+                abort.__cause__ = error
+                self._error = abort
+            else:
+                insort(self._pending, index)
+                self.reassignments[index] = self.reassignments.get(index, 0) + 1
+                if self._chained:
+                    # Rewind the pipeline: the retry's inbound carry is
+                    # the recorded result of the predecessor unit.
+                    predecessor = self._results.get(index - 1)
+                    self._carry = (
+                        predecessor.carry if predecessor is not None else None
+                    )
+                    self._carry_ready = True
             self._ready.notify_all()
 
     def abort(self, error: BaseException) -> None:
-        """Record a worker failure and wake every blocked puller."""
+        """Record a run-fatal failure and wake every blocked puller."""
         with self._ready:
             if self._error is None:
                 self._error = error
@@ -117,11 +207,25 @@ class UnitCoordinator:
         with self._lock:
             return self._error
 
-    def peek_pending(self, depth: int) -> List[WorkUnit]:
-        """The next (up to) ``depth`` units not yet handed out — advisory,
-        for prefetch planning; does not consume them."""
+    def _done_locked(self) -> bool:
+        return len(self._results) >= len(self._units)
+
+    @property
+    def done(self) -> bool:
+        """Every unit has a recorded result."""
         with self._lock:
-            return self._units[self._next_index : self._next_index + depth]
+            return self._done_locked()
+
+    def outstanding(self) -> int:
+        """Leases currently held by workers (diagnostics)."""
+        with self._lock:
+            return len(self._leases)
+
+    def peek_pending(self, depth: int) -> List[WorkUnit]:
+        """The next (up to) ``depth`` units awaiting assignment —
+        advisory, for prefetch planning; does not consume them."""
+        with self._lock:
+            return [self._units[i] for i in self._pending[:depth]]
 
     # ------------------------------------------------------------------
     # deterministic ordered merge
@@ -150,7 +254,9 @@ class UnitCoordinator:
         before it, which keeps the merged curve monotone and identical
         across worker planes.  When the workers charged their own counter
         copies (fork, node subprocess) their deltas are absorbed into the
-        parent counters so the shared disk's view stays complete.
+        parent counters so the shared disk's view stays complete.  Only
+        *recorded* results are merged — the partial work of a worker that
+        died mid-unit was never recorded, so retries cannot double-charge.
         """
         pairs: List[Tuple[int, int]] = []
         pair_base = 0

@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import multiprocessing
 import threading
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -376,27 +377,77 @@ class DistributedExecutor:
     pool): a distributed run's default output must match serial counters
     exactly, and the chained pipeline — work-optimal, not
     wall-clock-optimal — is what restores the serial recomputation counts.
+
+    Fault tolerance: a node failure (crash, silence past ``node_timeout``,
+    protocol garbage, error reply) quarantines *that node* — killed,
+    reaped, recorded in :attr:`quarantined` — and releases its leased unit
+    back to the coordinator for any live node; a unit may be retried up to
+    ``node_retries`` times before the run aborts.  Startup uses a
+    min-quorum gate instead of an all-nodes barrier: the drive phase opens
+    once ``min_ready`` nodes (default: all spawned) report ready, and
+    slower nodes join the pull loop mid-run when their bootstrap finishes.
+    The run degrades gracefully down to one survivor; only zero live
+    workers with work still outstanding aborts loudly.
     """
 
     name = "distributed"
+
+    #: Exponential retry backoff cap (seconds).
+    MAX_BACKOFF = 1.0
 
     def __init__(
         self,
         nodes: int = 2,
         reuse_handoff: str = "auto",
         node_delays: Optional[Sequence[float]] = None,
+        node_timeout: float = 60.0,
+        node_retries: int = 2,
+        min_ready: Optional[int] = None,
+        fault_plan: Optional[object] = None,
+        heartbeat_interval: Optional[float] = None,
+        retry_backoff: float = 0.05,
     ):
+        from repro.engine.faults import resolve_plan
+
         if nodes < 1:
             raise ValueError("nodes must be at least 1")
+        if node_timeout <= 0:
+            raise ValueError("node_timeout must be positive")
+        if node_retries < 0:
+            raise ValueError("node_retries must be >= 0")
+        if min_ready is not None and min_ready < 1:
+            raise ValueError("min_ready must be at least 1")
         self.nodes = nodes
         self.reuse_handoff = reuse_handoff
         #: Debug knob (tests only): artificial seconds each node sleeps per
         #: unit, indexed by node ordinal — used to force distinguishable
         #: pull interleavings in the skew/steal tests.
         self.node_delays = node_delays
+        #: Max seconds of per-request *silence* (heartbeats count as
+        #: liveness) before a node is declared hung and quarantined.
+        self.node_timeout = node_timeout
+        #: How many times one unit may be re-leased after failures.
+        self.node_retries = node_retries
+        #: Readiness quorum that opens the drive phase (None = all
+        #: spawned nodes, the pre-elasticity barrier).
+        self.min_ready = min_ready
+        #: Deterministic fault plan (spec string or FaultPlan) — testing.
+        self.fault_plan = resolve_plan(fault_plan)
+        self.heartbeat_interval = heartbeat_interval
+        #: Base sleep before re-running a released unit (doubles per
+        #: attempt, capped) so a transiently sick tier is not hammered.
+        self.retry_backoff = retry_backoff
         #: Scheduling trace of the most recent run (node id -> unit
         #: indices, in pull order); inspection hook for the skew tests.
         self.last_assignments: Optional[Dict[str, List[int]]] = None
+        #: node id -> failure description for nodes quarantined last run.
+        self.quarantined: Dict[str, str] = {}
+        #: unit index -> times its lease was released back (last run).
+        self.retries: Dict[int, int] = {}
+        #: node id -> subprocess pid (last run) — the reap tests poll these.
+        self.node_pids: Dict[str, int] = {}
+        #: Fault-injection + failure summary of the last run.
+        self.last_run_report: Optional[Dict[str, object]] = None
 
     def _handoff_enabled(self, algorithm: JoinAlgorithm) -> bool:
         if not algorithm.supports_handoff:
@@ -423,67 +474,143 @@ class DistributedExecutor:
         if not units:
             return []
         handoff = self._handoff_enabled(algorithm)
-        coordinator = UnitCoordinator(units, chained=handoff)
+        coordinator = UnitCoordinator(
+            units, chained=handoff, max_attempts=self.node_retries + 1
+        )
         base_accesses = ctx.disk.counters.diff(ctx.start_counters).page_accesses
         spec = node_plane.node_init_spec(algorithm, ctx, handoff)
         count = min(self.nodes, len(units))
+        quorum = min(self.min_ready if self.min_ready is not None else count, count)
+
+        self.quarantined = {}
+        self.node_pids = {}
         nodes: List[node_plane.NodeProcess] = []
+        registry_lock = threading.Lock()
+        state_lock = threading.Lock()
+        state = {"ready": 0, "live": count}
+        start_gate = threading.Event()
         errors: List[BaseException] = []
 
-        def wait_ready(node: "node_plane.NodeProcess") -> None:
-            try:
-                node.wait_ready()
-            except BaseException as error:  # noqa: BLE001 - reraised below
-                errors.append(error)
-                coordinator.abort(error)
+        def reevaluate_gate_locked() -> None:
+            # Failed nodes shrink the quorum denominator: a run must not
+            # wait forever for readiness that can no longer arrive.
+            if state["ready"] >= min(quorum, state["live"]) or state["live"] == 0:
+                start_gate.set()
 
-        def drive(node: "node_plane.NodeProcess") -> None:
-            try:
-                while True:
-                    assignment = coordinator.next_assignment(node.worker_id)
-                    if assignment is None:
-                        return
-                    result = node.run_unit(assignment)
-                    coordinator.record_result(assignment.index, result)
-            except BaseException as error:  # noqa: BLE001 - reraised below
-                errors.append(error)
-                coordinator.abort(error)
+        def mark_failed(
+            worker_id: str,
+            node: Optional["node_plane.NodeProcess"],
+            error: BaseException,
+        ) -> None:
+            self.quarantined[worker_id] = f"{type(error).__name__}: {error}"
+            if node is not None:
+                node.quarantine()
+            with state_lock:
+                state["live"] -= 1
+                if state["live"] == 0 and not coordinator.done:
+                    exhausted = RuntimeError(
+                        f"all {count} distributed nodes failed; last: "
+                        f"{type(error).__name__}: {error}"
+                    )
+                    exhausted.__cause__ = error
+                    coordinator.abort(exhausted)
+                reevaluate_gate_locked()
 
-        try:
-            for ordinal in range(count):
+        def run_node(ordinal: int) -> None:
+            worker_id = f"node-{ordinal}"
+            node: Optional[node_plane.NodeProcess] = None
+            try:
                 delay = 0.0
                 if self.node_delays is not None and ordinal < len(self.node_delays):
                     delay = float(self.node_delays[ordinal])
-                nodes.append(
-                    node_plane.NodeProcess(
-                        worker_id=f"node-{ordinal}", spec=spec, unit_delay=delay
-                    )
+                faults = (
+                    self.fault_plan.for_node(worker_id) if self.fault_plan else None
                 )
-            # Readiness barrier: no node pulls until every node is up.
-            # Interpreter startup dwarfs a unit's runtime, so without the
-            # barrier the first node ready routinely drains the whole
-            # queue and the run degenerates to single-node execution.
-            ready = [
-                threading.Thread(target=wait_ready, args=(node,)) for node in nodes
+                node = node_plane.NodeProcess(
+                    worker_id=worker_id,
+                    spec=spec,
+                    unit_delay=delay,
+                    faults=faults,
+                    heartbeat_interval=self.heartbeat_interval,
+                )
+                with registry_lock:
+                    nodes.append(node)
+                    self.node_pids[worker_id] = node.process.pid
+                node.wait_ready(timeout=self.node_timeout)
+            except node_plane.NodeFailure as error:
+                mark_failed(worker_id, node, error)
+                return
+            except BaseException as error:  # noqa: BLE001 - reraised below
+                errors.append(error)
+                coordinator.abort(error)
+                start_gate.set()
+                return
+            with state_lock:
+                state["ready"] += 1
+                reevaluate_gate_locked()
+            # Min-quorum start: a node ready after the gate opened simply
+            # sails through and joins the pull loop mid-run (late join).
+            start_gate.wait()
+            while True:
+                assignment = coordinator.next_assignment(worker_id)
+                if assignment is None:
+                    return
+                if assignment.attempt > 1 and self.retry_backoff > 0:
+                    time.sleep(
+                        min(
+                            self.retry_backoff * 2 ** (assignment.attempt - 2),
+                            self.MAX_BACKOFF,
+                        )
+                    )
+                try:
+                    result = node.run_unit(assignment, timeout=self.node_timeout)
+                except node_plane.NodeFailure as error:
+                    # Lease back to the queue first, then retire the node:
+                    # a sibling can pick the unit up immediately.
+                    coordinator.release(assignment.index, error=error)
+                    mark_failed(worker_id, node, error)
+                    return
+                except BaseException as error:  # noqa: BLE001 - reraised below
+                    errors.append(error)
+                    coordinator.abort(error)
+                    return
+                coordinator.record_result(assignment.index, result)
+
+        try:
+            threads = [
+                threading.Thread(
+                    target=run_node, args=(ordinal,), name=f"drive-node-{ordinal}"
+                )
+                for ordinal in range(count)
             ]
-            for thread in ready:
+            for thread in threads:
                 thread.start()
-            for thread in ready:
+            for thread in threads:
                 thread.join()
-            if not errors:
-                threads = [
-                    threading.Thread(target=drive, args=(node,)) for node in nodes
-                ]
-                for thread in threads:
-                    thread.start()
-                for thread in threads:
-                    thread.join()
         finally:
-            for node in nodes:
+            with registry_lock:
+                survivors = [
+                    node
+                    for node in nodes
+                    if node.worker_id not in self.quarantined
+                ]
+            for node in survivors:
                 node.shutdown()
+        self.retries = dict(coordinator.reassignments)
+        self.last_assignments = dict(coordinator.assignments)
+        self.last_run_report = {
+            "nodes": count,
+            "quorum": quorum,
+            "quarantined": dict(self.quarantined),
+            "retries": dict(self.retries),
+            "faults_planned": (
+                self.fault_plan.to_spec() if self.fault_plan else None
+            ),
+        }
         if errors:
             raise errors[0]
-        self.last_assignments = dict(coordinator.assignments)
+        if coordinator.error is not None:
+            raise coordinator.error
         return coordinator.merge(ctx, base_accesses, absorb_counters=True)
 
 
@@ -501,5 +628,9 @@ def executor_for(config: EngineConfig):
         return DistributedExecutor(
             nodes=config.nodes,
             reuse_handoff=config.reuse_handoff,
+            node_timeout=config.node_timeout,
+            node_retries=config.node_retries,
+            min_ready=config.node_min_ready,
+            fault_plan=config.fault_plan,
         )
     raise ValueError(f"unknown executor {config.executor!r}")

@@ -28,14 +28,31 @@ The REUSE carry crosses the wire in an explicit JSON form (a list of
 ``[oid, site_x, site_y, vertices]`` cells) produced and consumed only by
 nodes; the coordinator forwards it opaquely from one node's result to the
 next chained unit's assignment, wherever that unit lands.
+
+Fault story (this file is the detection side; injection lives in
+:mod:`repro.engine.faults`):
+
+* a dedicated reader thread per node turns the blocking pipe into a
+  timed message queue, so the parent can bound how long it waits for any
+  reply (``NodeTimeout``) instead of blocking forever on a hung child;
+* the node emits ``heartbeat`` lines from a daemon thread while it
+  computes, so a slow unit and a frozen interpreter are distinguishable:
+  the request deadline is *silence*-based, refreshed by every message;
+* child exit / broken pipes surface as ``NodeCrashed``, a structured
+  ``error`` reply as ``NodeError``, undecodable bytes as
+  ``NodeProtocolError`` — all subclasses of :class:`NodeFailure`, which
+  the distributed executor treats as "quarantine this node and retry the
+  unit elsewhere", never as run-fatal by itself.
 """
 
 from __future__ import annotations
 
 import os
+import queue
 import subprocess
 import sys
 import tempfile
+import threading
 import time
 from dataclasses import fields
 from typing import Any, Dict, List, Optional
@@ -195,12 +212,53 @@ def node_init_spec(algorithm, ctx, handoff: bool) -> Dict[str, Any]:
 
 
 # ----------------------------------------------------------------------
-# parent side: one subprocess handle per node
+# parent side: failure taxonomy + one subprocess handle per node
 # ----------------------------------------------------------------------
-class NodeProcess:
-    """Handle on one node subprocess speaking the unit protocol."""
+class NodeFailure(RuntimeError):
+    """One node became unusable.  The run may survive it: the distributed
+    executor quarantines the node and releases its leased unit back to
+    the coordinator instead of aborting the whole join."""
 
-    def __init__(self, worker_id: str, spec: Dict[str, Any], unit_delay: float = 0.0):
+
+class NodeCrashed(NodeFailure):
+    """The node process exited (or its pipe broke) without replying."""
+
+
+class NodeTimeout(NodeFailure):
+    """The node went silent past the request deadline (no reply, no
+    heartbeat) — a hung interpreter as far as the parent can tell."""
+
+
+class NodeError(NodeFailure):
+    """The node answered with a structured ``error`` reply."""
+
+
+class NodeProtocolError(NodeFailure):
+    """The node sent bytes that do not decode as a protocol message."""
+
+
+class NodeProcess:
+    """Handle on one node subprocess speaking the unit protocol.
+
+    A dedicated reader thread drains the node's stdout into a queue, so
+    every receive takes an optional deadline; ``heartbeat`` lines refresh
+    the deadline without being surfaced (silence, not slowness, is what
+    times out).  ``faults`` is the node's slice of a
+    :class:`~repro.engine.faults.FaultPlan` in wire form, forwarded
+    verbatim inside the init message.
+    """
+
+    #: Seconds between child heartbeats (0 disables them).
+    DEFAULT_HEARTBEAT = 0.25
+
+    def __init__(
+        self,
+        worker_id: str,
+        spec: Dict[str, Any],
+        unit_delay: float = 0.0,
+        faults: Optional[List[Dict[str, Any]]] = None,
+        heartbeat_interval: Optional[float] = None,
+    ):
         self.worker_id = worker_id
         package_root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
         env = dict(os.environ)
@@ -218,16 +276,43 @@ class NodeProcess:
             stderr=self._stderr,
             env=env,
         )
+        self._lines: "queue.Queue[Optional[bytes]]" = queue.Queue()
+        self._reader = threading.Thread(
+            target=self._read_loop, name=f"node-reader-{worker_id}", daemon=True
+        )
+        self._reader.start()
         message = dict(spec)
         message["type"] = "init"
         if unit_delay:
             message["unit_delay"] = unit_delay
+        if faults:
+            message["faults"] = list(faults)
+        message["heartbeat"] = (
+            self.DEFAULT_HEARTBEAT if heartbeat_interval is None else heartbeat_interval
+        )
         self._send(message)
         self._ready = False
 
+    def _read_loop(self) -> None:
+        """Drain stdout into the line queue; a ``None`` sentinel marks EOF."""
+        stdout = self.process.stdout
+        try:
+            for line in iter(stdout.readline, b""):
+                self._lines.put(line)
+        except (OSError, ValueError):
+            pass  # pipe torn down under us (quarantine/shutdown)
+        finally:
+            self._lines.put(None)
+
     def _send(self, message: Dict[str, Any]) -> None:
-        self.process.stdin.write(encode_line(message))
-        self.process.stdin.flush()
+        try:
+            self.process.stdin.write(encode_line(message))
+            self.process.stdin.flush()
+        except (BrokenPipeError, OSError) as error:
+            raise NodeCrashed(
+                f"{self.worker_id} pipe broken on send: {error}"
+                + self._stderr_suffix()
+            ) from error
 
     def _stderr_tail(self) -> str:
         try:
@@ -236,32 +321,62 @@ class NodeProcess:
         except (OSError, ValueError):
             return ""
 
-    def _recv(self) -> Dict[str, Any]:
-        line = self.process.stdout.readline()
-        if not line:
-            tail = self._stderr_tail()
-            raise RuntimeError(
-                f"{self.worker_id} exited without replying"
-                + (f"; stderr: {tail}" if tail else "")
-            )
-        message = decode_line(line)
-        if message.get("type") == "error":
-            raise RuntimeError(f"{self.worker_id} failed: {message.get('message')}")
-        return message
+    def _stderr_suffix(self) -> str:
+        tail = self._stderr_tail()
+        return f"; stderr: {tail}" if tail else ""
 
-    def wait_ready(self) -> None:
+    @property
+    def alive(self) -> bool:
+        return self.process.poll() is None
+
+    def _recv(self, timeout: Optional[float] = None) -> Dict[str, Any]:
+        """The next non-heartbeat message; the deadline is silence-based.
+
+        ``timeout`` bounds the wait for *any* message — heartbeats refresh
+        it, so a node that is computing (and heartbeating) never times out
+        while a frozen one does after ``timeout`` seconds of silence.
+        """
+        while True:
+            try:
+                line = self._lines.get(timeout=timeout)
+            except queue.Empty:
+                raise NodeTimeout(
+                    f"{self.worker_id} silent for {timeout:.3g}s (no reply, "
+                    f"no heartbeat)" + self._stderr_suffix()
+                ) from None
+            if line is None:
+                raise NodeCrashed(
+                    f"{self.worker_id} exited without replying"
+                    + self._stderr_suffix()
+                )
+            try:
+                message = decode_line(line)
+            except Exception as error:  # noqa: BLE001 - garbage on the wire
+                raise NodeProtocolError(
+                    f"{self.worker_id} sent undecodable bytes "
+                    f"({line[:80]!r}...): {error}"
+                ) from None
+            if message.get("type") == "heartbeat":
+                continue  # liveness only; restart the silence window
+            if message.get("type") == "error":
+                raise NodeError(
+                    f"{self.worker_id} failed: {message.get('message')}"
+                )
+            return message
+
+    def wait_ready(self, timeout: Optional[float] = None) -> None:
         """Block until the node has rebuilt the read view (or died)."""
         if self._ready:
             return
-        message = self._recv()
+        message = self._recv(timeout=timeout)
         if message.get("type") != "ready":
-            raise RuntimeError(
+            raise NodeProtocolError(
                 f"{self.worker_id} spoke out of turn: expected 'ready', "
                 f"got {message.get('type')!r}"
             )
         self._ready = True
 
-    def run_unit(self, assignment) -> "ShardResult":
+    def run_unit(self, assignment, timeout: Optional[float] = None) -> "ShardResult":
         """Execute one assignment on the node; blocks until its result."""
         from repro.engine.executors import ShardResult
 
@@ -274,11 +389,16 @@ class NodeProcess:
                 "carry": assignment.carry,
             }
         )
-        message = self._recv()
+        message = self._recv(timeout=timeout)
         if message.get("type") != "result":
-            raise RuntimeError(
+            raise NodeProtocolError(
                 f"{self.worker_id} spoke out of turn: expected 'result', "
                 f"got {message.get('type')!r}"
+            )
+        if message["index"] != assignment.index:
+            raise NodeProtocolError(
+                f"{self.worker_id} answered unit {message['index']} "
+                f"while unit {assignment.index} was asked"
             )
         return ShardResult(
             index=message["index"],
@@ -290,6 +410,17 @@ class NodeProcess:
             carry=message.get("carry"),
         )
 
+    def quarantine(self) -> None:
+        """Kill a failed/hung node immediately and reap it — no graceful
+        shutdown message (the node is presumed unresponsive)."""
+        process = self.process
+        try:
+            if process.poll() is None:
+                process.kill()
+            process.wait(timeout=10)
+        finally:
+            self._close_handles()
+
     def shutdown(self) -> None:
         """Ask the node to exit; escalate to kill if it lingers."""
         process = self.process
@@ -297,7 +428,7 @@ class NodeProcess:
             if process.poll() is None and process.stdin and not process.stdin.closed:
                 try:
                     self._send({"type": "shutdown"})
-                except (BrokenPipeError, OSError):
+                except (NodeCrashed, OSError):
                     pass
             if process.stdin and not process.stdin.closed:
                 try:
@@ -310,12 +441,28 @@ class NodeProcess:
                 process.kill()
                 process.wait(timeout=10)
         finally:
-            if process.stdout:
-                process.stdout.close()
+            self._close_handles()
+
+    def _close_handles(self) -> None:
+        process = self.process
+        if process.stdin and not process.stdin.closed:
             try:
-                self._stderr.close()
+                process.stdin.close()
             except OSError:
                 pass
+        # The reader owns stdout until it sees EOF (the child is dead by
+        # now, so that is imminent); joining first avoids closing the
+        # stream out from under a blocked readline.
+        self._reader.join(timeout=5)
+        if process.stdout:
+            try:
+                process.stdout.close()
+            except OSError:
+                pass
+        try:
+            self._stderr.close()
+        except OSError:
+            pass
 
 
 # ----------------------------------------------------------------------
@@ -401,16 +548,37 @@ def _bootstrap(spec: Dict[str, Any]):
     return algorithm, parent_ctx, dispatch_state
 
 
+#: How long an injected hang sleeps.  The parent's silence deadline fires
+#: long before this; the sleep only has to outlive it until the kill.
+_HANG_SECONDS = 600.0
+
+
 def main() -> int:
     from repro.engine.executors import _execute_shard
+    from repro.engine.faults import FaultInjector
     from repro.engine.units import WorkUnit
 
     stdin = sys.stdin.buffer
     stdout = sys.stdout.buffer
+    # The heartbeat thread and the main loop share stdout; NDJSON framing
+    # survives only if whole lines are written atomically under one lock.
+    write_lock = threading.Lock()
+    heartbeats_stop = threading.Event()
+    heartbeats_mute = threading.Event()
 
     def reply(message: Dict[str, Any]) -> None:
-        stdout.write(encode_line(message))
-        stdout.flush()
+        with write_lock:
+            stdout.write(encode_line(message))
+            stdout.flush()
+
+    def heartbeat_loop(interval: float) -> None:
+        while not heartbeats_stop.wait(interval):
+            if heartbeats_mute.is_set():
+                continue  # an injected hang: frozen processes do not beat
+            try:
+                reply({"type": "heartbeat"})
+            except (BrokenPipeError, OSError):
+                return  # parent is gone; nothing left to reassure
 
     try:
         init_line = stdin.readline()
@@ -421,6 +589,20 @@ def main() -> int:
             raise ValueError(f"expected an init message, got {init.get('type')!r}")
         unit_delay = float(init.get("unit_delay", 0.0))
         handoff = bool(init.get("handoff", False))
+        injector = FaultInjector(init.get("faults") or ())
+        heartbeat_interval = float(init.get("heartbeat", 0.0))
+        if heartbeat_interval > 0:
+            # Start beating before the (potentially slow) bootstrap so a
+            # late-joining node looks alive, not hung, to the parent.
+            threading.Thread(
+                target=heartbeat_loop,
+                args=(heartbeat_interval,),
+                name="node-heartbeat",
+                daemon=True,
+            ).start()
+        ready_delay = injector.ready_delay()
+        if ready_delay:
+            time.sleep(ready_delay)
         algorithm, parent_ctx, dispatch_state = _bootstrap(init)
     except BaseException as error:  # noqa: BLE001 - reported to the parent
         reply({"type": "error", "message": f"{type(error).__name__}: {error}"})
@@ -442,6 +624,13 @@ def main() -> int:
                     {"type": "error", "message": f"unexpected message {kind!r}"}
                 )
                 return 1
+            fault = injector.on_unit(message["index"])
+            if fault is not None and fault.kind == "crash" and fault.phase == "recv":
+                os._exit(13)  # abrupt: no reply, no cleanup, like a real crash
+            if fault is not None and fault.kind == "hang":
+                heartbeats_mute.set()
+                time.sleep(_HANG_SECONDS)  # the parent's deadline reaps us
+                return 1
             try:
                 if unit_delay:
                     time.sleep(unit_delay)
@@ -458,6 +647,25 @@ def main() -> int:
                     message["index"],
                     carry=carry,
                 )
+                if fault is not None and fault.kind == "crash":
+                    os._exit(13)  # phase=work: computed, never replied
+                if fault is not None and fault.kind == "error":
+                    reply({"type": "error", "message": "injected fault: error"})
+                    return 1
+                if fault is not None and fault.kind == "drop":
+                    # Swallow the result — and the heartbeats with it: a
+                    # lost reply must look like *silence* to the parent
+                    # (its deadline is what detects drops), not like a
+                    # slow-but-alive computation.
+                    heartbeats_mute.set()
+                    injector.unit_completed()
+                    continue
+                if fault is not None and fault.kind == "corrupt":
+                    with write_lock:
+                        stdout.write(b'{"type": "result", #corrupt#\n')
+                        stdout.flush()
+                    injector.unit_completed()
+                    continue
                 reply(
                     {
                         "type": "result",
@@ -470,10 +678,12 @@ def main() -> int:
                         "carry": carry_to_wire(result.carry) if handoff else None,
                     }
                 )
+                injector.unit_completed()
             except BaseException as error:  # noqa: BLE001 - reported
                 reply({"type": "error", "message": f"{type(error).__name__}: {error}"})
                 return 1
     finally:
+        heartbeats_stop.set()
         disk.close()
 
 

@@ -290,8 +290,15 @@ class JoinService:
                 if line.strip() == b"":
                     continue
                 response = await self._respond(line, writer)
-                writer.write(encode_line(response))
-                await writer.drain()
+                try:
+                    writer.write(encode_line(response))
+                    await writer.drain()
+                except (ConnectionResetError, BrokenPipeError):
+                    # The client vanished between request and reply (a
+                    # mid-request disconnect).  The computed work is
+                    # already published (snapshots/broadcasts do not go
+                    # through this writer); just retire the connection.
+                    break
         finally:
             self._drop_subscriber(writer)
             writer.close()

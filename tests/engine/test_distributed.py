@@ -83,6 +83,9 @@ class TestUnitCoordinator:
         second = coordinator.next_assignment("b")
         third = coordinator.next_assignment("a")
         assert (first.index, second.index, third.index) == (0, 1, 2)
+        for assignment in (first, second, third):
+            coordinator.record_result(assignment.index, FakeResult(assignment.index))
+        # Every result recorded -> the queue reports completion, not a block.
         assert coordinator.next_assignment("b") is None
         assert coordinator.assignments == {"a": [0, 2], "b": [1]}
 
@@ -147,13 +150,103 @@ class TestUnitCoordinator:
         stuck = coordinator.next_assignment("stuck")
         assert stuck.index == 0
         drained = []
-        while True:
+        while len(drained) < 5:
             assignment = coordinator.next_assignment("fast")
-            if assignment is None:
-                break
             drained.append(assignment.index)
+            coordinator.record_result(assignment.index, FakeResult(assignment.index))
         assert drained == [1, 2, 3, 4, 5]
         assert coordinator.assignments == {"stuck": [0], "fast": drained}
+        # The stuck worker's unit is still leased, not lost: the queue is
+        # not done, and recording it completes the run.
+        assert not coordinator.done
+        assert coordinator.outstanding() == 1
+        coordinator.record_result(0, FakeResult(0))
+        assert coordinator.next_assignment("fast") is None
+
+    def test_release_returns_lease_to_the_queue(self):
+        coordinator = UnitCoordinator(make_units(2), max_attempts=2)
+        first = coordinator.next_assignment("dying")
+        assert (first.index, first.attempt) == (0, 1)
+        coordinator.release(0, error=RuntimeError("node died"))
+        retry = coordinator.next_assignment("survivor")
+        # The released unit comes back before unit 1 (index order) and its
+        # attempt counter shows the retry.
+        assert (retry.index, retry.attempt) == (0, 2)
+        assert coordinator.reassignments == {0: 1}
+
+    def test_release_blocked_puller_gets_the_returned_unit(self):
+        """A puller blocked on an empty-but-leased queue wakes up when the
+        lease is released — the elasticity deadlock this layer prevents."""
+        coordinator = UnitCoordinator(make_units(1), max_attempts=2)
+        coordinator.next_assignment("dying")
+        handed = []
+
+        def blocked_puller():
+            handed.append(coordinator.next_assignment("survivor"))
+
+        thread = threading.Thread(target=blocked_puller)
+        thread.start()
+        thread.join(timeout=0.2)
+        assert thread.is_alive()  # queue empty, lease outstanding -> blocks
+        coordinator.release(0, error=RuntimeError("node died"))
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        assert handed[0].index == 0
+
+    def test_release_past_max_attempts_aborts(self):
+        coordinator = UnitCoordinator(make_units(1), max_attempts=2)
+        coordinator.next_assignment("a")
+        coordinator.release(0, error=RuntimeError("first failure"))
+        coordinator.next_assignment("b")
+        coordinator.release(0, error=RuntimeError("second failure"))
+        assert coordinator.error is not None
+        assert "max_attempts" in str(coordinator.error)
+        assert coordinator.next_assignment("c") is None
+
+    def test_duplicate_result_is_idempotently_dropped(self):
+        coordinator = UnitCoordinator(make_units(1), max_attempts=3)
+        coordinator.next_assignment("slow")
+        coordinator.release(0, error=RuntimeError("presumed dead"))
+        coordinator.next_assignment("fast")
+        winner = FakeResult(0)
+        coordinator.record_result(0, winner)
+        coordinator.record_result(0, FakeResult(0))  # the late duplicate
+        assert coordinator.results_in_order() == [winner]
+
+    def test_release_after_result_is_a_no_op(self):
+        coordinator = UnitCoordinator(make_units(1), max_attempts=1)
+        coordinator.next_assignment("a")
+        coordinator.record_result(0, FakeResult(0))
+        # A stale release (executor noticed the death late) must not
+        # resurrect or abort an already-completed unit.
+        coordinator.release(0, error=RuntimeError("stale"))
+        assert coordinator.error is None
+        assert coordinator.next_assignment("b") is None
+
+    def test_chained_release_rewinds_to_predecessor_carry(self):
+        coordinator = UnitCoordinator(
+            make_units(3, needs_carry=True), chained=True, max_attempts=2
+        )
+        first = coordinator.next_assignment("a")
+        coordinator.record_result(0, FakeResult(0, carry={"cells": 1}))
+        second = coordinator.next_assignment("a")
+        assert (second.index, second.carry) == (1, {"cells": 1})
+        # Unit 1's worker dies mid-compute; the retry must re-run from the
+        # recorded carry of unit 0, not from whatever was live.
+        coordinator.release(1, error=RuntimeError("node died"))
+        retry = coordinator.next_assignment("b")
+        assert (retry.index, retry.attempt) == (1, 2)
+        assert retry.carry == {"cells": 1}
+        assert first.carry is None
+
+    def test_chained_release_of_first_unit_rewinds_to_none(self):
+        coordinator = UnitCoordinator(
+            make_units(2, needs_carry=True), chained=True, max_attempts=2
+        )
+        coordinator.next_assignment("a")
+        coordinator.release(0, error=RuntimeError("node died"))
+        retry = coordinator.next_assignment("b")
+        assert (retry.index, retry.carry) == (0, None)
 
     def test_peek_pending_is_non_consuming(self):
         coordinator = UnitCoordinator(make_units(4))

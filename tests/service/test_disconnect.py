@@ -1,0 +1,224 @@
+"""Client-disconnect resilience of the join service.
+
+A TCP client can vanish at any point: between sending a request and
+reading its reply (mid-request), or while holding a delta subscription
+(mid-subscription).  The server must retire the connection without
+leaking anything it holds for it — the reader side of the handler task,
+the subscriber registration, and above all the bounded admission queue's
+slot, whose leak would eventually wedge the dataset behind permanent
+``overloaded`` rejections.  The client library in turn must tear down
+its reader task on close.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+from repro.service import DatasetSpec, JoinService, ServiceClient
+from repro.service.protocol import encode_line
+
+SPEC = dict(name="d", n_p=40, n_q=35, seed=3)
+
+
+async def _settle(predicate, timeout: float = 5.0, interval: float = 0.02):
+    """Await a loop-side condition with a deadline (no fixed sleeps)."""
+    deadline = asyncio.get_running_loop().time() + timeout
+    while True:
+        if predicate():
+            return
+        if asyncio.get_running_loop().time() >= deadline:
+            raise AssertionError("condition not reached before deadline")
+        await asyncio.sleep(interval)
+
+
+async def _raw_connect(host, port):
+    """A protocol-naive connection: hello is read, nothing else is."""
+    reader, writer = await asyncio.open_connection(host, port)
+    hello = await reader.readline()
+    assert b"hello" in hello
+    return reader, writer
+
+
+class TestMidRequestDisconnect:
+    def test_slot_released_and_work_survives_client_death(self):
+        """The client sends an update, then aborts before reading the
+        reply.  The batch still applies (work is published through the
+        snapshot, not the dead socket), the admission slot returns, and
+        the server keeps serving."""
+
+        async def scenario():
+            service = JoinService([DatasetSpec(**SPEC)])
+            host, port = await service.start()
+            state = service.datasets["d"]
+            try:
+                # Stall the (single) worker thread so the update below is
+                # deterministically still in flight when the client dies.
+                gate = threading.Event()
+                blocker = asyncio.ensure_future(state.submit(gate.wait))
+
+                _reader, writer = await _raw_connect(host, port)
+                writer.write(
+                    encode_line(
+                        {
+                            "op": "update",
+                            "dataset": "d",
+                            "updates": ["insert P 9001 123.5 456.5"],
+                            "id": "doomed",
+                        }
+                    )
+                )
+                await writer.drain()
+                # The server admitted the update (it queues behind the
+                # blocker)...
+                await _settle(lambda: state.pending == 2)
+                # ...and only now does the client die, reply undeliverable.
+                writer.transport.abort()
+                gate.set()
+                await blocker
+                # The batch still applies and every admission slot returns.
+                await _settle(lambda: state.version == 1)
+                await _settle(lambda: state.pending == 0)
+
+                async with await ServiceClient.connect(host, port) as client:
+                    response = await client.stats(dataset="d")
+                    # A second mid-sized burst proves no slot leaked: the
+                    # admission bound is still fully available.
+                    for _ in range(state.spec.max_queue):
+                        await client.window([0.0, 0.0, 9000.0, 9000.0], dataset="d")
+                return response, state.pending
+            finally:
+                await service.close()
+
+        response, pending = asyncio.run(scenario())
+        assert response["version"] == 1
+        assert response["points"]["P"] == SPEC["n_p"] + 1
+        assert pending == 0
+
+    def test_disconnect_before_request_read_is_harmless(self):
+        async def scenario():
+            service = JoinService([DatasetSpec(**SPEC)])
+            host, port = await service.start()
+            state = service.datasets["d"]
+            try:
+                _reader, writer = await _raw_connect(host, port)
+                writer.transport.abort()  # die without ever sending a request
+                await _settle(lambda: state.pending == 0)
+                async with await ServiceClient.connect(host, port) as client:
+                    return await client.join(dataset="d"), state.pending
+            finally:
+                await service.close()
+
+        response, pending = asyncio.run(scenario())
+        assert response["ok"]
+        assert pending == 0
+
+
+class TestMidSubscriptionDisconnect:
+    def test_dead_subscriber_is_pruned_and_live_one_still_streams(self):
+        async def scenario():
+            service = JoinService([DatasetSpec(**SPEC)])
+            host, port = await service.start()
+            state = service.datasets["d"]
+            try:
+                # A subscriber that will die...
+                doomed_reader, doomed_writer = await _raw_connect(host, port)
+                doomed_writer.write(
+                    encode_line({"op": "subscribe", "dataset": "d", "id": "s0"})
+                )
+                await doomed_writer.drain()
+                await doomed_reader.readline()  # its subscribe ack
+                assert len(state.subscribers) == 1
+                doomed_writer.transport.abort()
+                # ...whose handler notices the reset and unregisters it.
+                await _settle(lambda: len(state.subscribers) == 0)
+
+                # A healthy subscriber plus an updater: the broadcast path
+                # must survive the earlier death and still deliver.
+                async with await ServiceClient.connect(host, port) as sub:
+                    await sub.subscribe(dataset="d")
+                    async with await ServiceClient.connect(host, port) as upd:
+                        await upd.update(
+                            ["insert Q 9101 222.5 333.5"], dataset="d"
+                        )
+                    event = await sub.next_event()
+                return event, len(state.subscribers)
+            finally:
+                await service.close()
+
+        event, remaining_before_close = asyncio.run(scenario())
+        assert event["event"] == "delta"
+        assert event["version"] == 1
+
+    def test_subscriber_killed_between_broadcasts_is_dropped(self):
+        """Death detected *by* the broadcast (not the handler): a closing
+        writer in the subscriber set is discarded, not written to."""
+
+        async def scenario():
+            service = JoinService([DatasetSpec(**SPEC)])
+            host, port = await service.start()
+            state = service.datasets["d"]
+            try:
+                _reader, writer = await _raw_connect(host, port)
+                writer.write(
+                    encode_line({"op": "subscribe", "dataset": "d", "id": "s0"})
+                )
+                await writer.drain()
+                await _settle(lambda: len(state.subscribers) == 1)
+                # Simulate the handler lagging behind the transport death:
+                # mark the server-side writer closing, then broadcast.
+                [server_writer] = list(state.subscribers)
+                server_writer.close()
+                async with await ServiceClient.connect(host, port) as upd:
+                    await upd.update(["insert P 9201 77.5 88.5"], dataset="d")
+                return len(state.subscribers) == 0 or all(
+                    s.is_closing() for s in state.subscribers
+                )
+            finally:
+                await service.close()
+
+        assert asyncio.run(scenario())
+
+
+class TestClientReaderCleanup:
+    def test_close_retires_the_reader_task(self):
+        async def scenario():
+            service = JoinService([DatasetSpec(**SPEC)])
+            host, port = await service.start()
+            try:
+                client = await ServiceClient.connect(host, port)
+                await client.join(dataset="d")
+                task = client._reader_task
+                assert not task.done()
+                await client.close()
+                await asyncio.sleep(0)  # let the cancellation land
+                return task.done()
+            finally:
+                await service.close()
+
+        assert asyncio.run(scenario())
+
+    def test_server_side_close_ends_reader_task_without_leak(self):
+        """The server closing the connection ends the client's reader
+        loop on EOF, with no cancellation needed."""
+
+        async def scenario():
+            service = JoinService([DatasetSpec(**SPEC)])
+            host, port = await service.start()
+            state = service.datasets["d"]
+            try:
+                client = await ServiceClient.connect(host, port)
+                # Subscribing is the one op that exposes the server-side
+                # writer; closing it hangs up on the client.
+                await client.subscribe(dataset="d")
+                task = client._reader_task
+                [server_writer] = list(state.subscribers)
+                server_writer.close()
+                await asyncio.wait_for(asyncio.shield(task), timeout=5.0)
+                done = task.done()
+                await client.close()
+                return done
+            finally:
+                await service.close()
+
+        assert asyncio.run(scenario())

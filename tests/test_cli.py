@@ -288,3 +288,73 @@ class TestDistributedFlags:
             "join", "--n-p", "30", "--n-q", "20", "--executor", "distributed",
         ]) == 2
         assert "on-disk shared backend" in capsys.readouterr().err
+
+
+class TestFaultToleranceFlags:
+    """--node-timeout / --node-retries / --fault-plan: the fault-tolerance
+    surface of the distributed tier.
+
+    Each flag is distributed-only and rejected with exit code 2 elsewhere;
+    a malformed fault-plan spec dies at parse time, not mid-run.
+    """
+
+    @pytest.mark.parametrize(
+        "flag, value",
+        [("--node-timeout", "5"), ("--node-retries", "1"),
+         ("--fault-plan", "crash@node-0")],
+    )
+    def test_flags_require_distributed_executor(self, capsys, flag, value):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["join", flag, value])  # serial is the default
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert f"{flag} configures distributed node fault tolerance" in err
+        assert "no effect with --executor serial" in err
+
+    def test_nonpositive_node_timeout_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["join", "--executor", "distributed", "--node-timeout", "0"])
+        assert excinfo.value.code == 2
+        assert "--node-timeout must be positive" in capsys.readouterr().err
+
+    def test_negative_node_retries_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["join", "--executor", "distributed", "--node-retries", "-1"])
+        assert excinfo.value.code == 2
+        assert "--node-retries must be >= 0" in capsys.readouterr().err
+
+    def test_malformed_fault_plan_rejected_at_parse_time(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "join", "--executor", "distributed",
+                "--fault-plan", "meteor@node-0",
+            ])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--fault-plan:" in err
+        assert "meteor" in err
+
+    def test_faulted_run_reports_quarantine_and_retries(self, capsys, tmp_path):
+        # 150/140 points give PM several work units, so node-1 is
+        # guaranteed to pull (and crash on) its first unit before node-0
+        # can drain the queue.
+        assert main([
+            "join", "--n-p", "150", "--n-q", "140", "--method", "pm",
+            "--storage", "file", "--storage-path", str(tmp_path / "pages.bin"),
+            "--executor", "distributed", "--nodes", "2",
+            "--fault-plan", "crash@node-1:after=0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fault plan      : crash@node-1" in out
+        assert "quarantined     : 1 node(s): node-1 (NodeCrashed)" in out
+        assert "result pairs" in out
+
+    def test_clean_faulted_run_reports_no_failures(self, capsys, tmp_path):
+        assert main([
+            "join", "--n-p", "40", "--n-q", "30", "--method", "pm",
+            "--storage", "file", "--storage-path", str(tmp_path / "pages.bin"),
+            "--executor", "distributed", "--nodes", "2",
+            "--fault-plan", "ready_delay@node-1:seconds=0.05",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fault outcome   : no node failures observed" in out
