@@ -142,8 +142,9 @@ def common_influence_join(
         PM-CIJ, top-level ``R'_P`` partitions of the synchronous traversal
         for FM-CIJ) pulled by ``workers`` local processes — or
         ``"distributed"``, the same units pulled by ``nodes`` worker
-        subprocesses that reopen the shared on-disk backend read-only
-        (requires ``storage="file"`` or ``"sqlite"``).  Every CIJ variant
+        subprocesses that reopen the shared backend read-only (requires a
+        shareable backend: ``storage="file"``, ``"sqlite"`` or
+        ``"remote"``).  Every CIJ variant
         shards; only the brute-force oracle does not.  Merged pairs and
         deterministic counters are byte-identical across executors.
     node_timeout, node_retries, fault_plan:
@@ -157,10 +158,14 @@ def common_influence_join(
         boundaries (``"auto"``/``"always"``/``"never"``; see
         :class:`repro.engine.EngineConfig`).
     storage, storage_path:
-        Page-store backend (``"memory"``, ``"file"`` or ``"sqlite"``) and
-        its backing path.  The default honours ``$REPRO_STORAGE`` and falls
-        back to memory; the serializing backends let the join page real
-        bytes off disk for datasets larger than the buffer.
+        Page-store backend (``"memory"``, ``"file"``, ``"sqlite"``,
+        ``"remote"`` — or ``"remote+file"``/``"remote+sqlite"`` to pick a
+        spawned page server's backing store) and its backing path (for
+        ``"remote"``: the ``HOST:PORT`` of a running page server, or
+        ``None`` to spawn a private one).  The default honours
+        ``$REPRO_STORAGE`` and falls back to memory; the serializing
+        backends let the join page real bytes off disk for datasets larger
+        than the buffer.
     prefetch, prefetch_depth:
         Overlapped-I/O mode (``"off"``, ``"next_batch"``, ``"next_shard"``)
         and its unit lookahead; see :class:`repro.engine.EngineConfig`.

@@ -39,6 +39,15 @@ Same join with pages stored in (and read back from) a real file::
 
     python -m repro.cli join --n-p 500 --n-q 500 --storage file
 
+Remote storage: serve pages from a separate page-server process, then run
+a two-node distributed join against it — no shared filesystem needed
+(``--storage remote`` alone spawns a private server; ``remote+sqlite``
+picks the server's backing store)::
+
+    python -m repro.storage.pageserver --backing file --port 9321 &
+    python -m repro.cli join --n-p 500 --n-q 500 --page-server 127.0.0.1:9321 \
+        --executor distributed --nodes 2
+
 File-backed join with overlapped I/O: upcoming batches' candidate pages are
 fetched asynchronously while the current batch computes, and a simulated
 2 ms/page service time makes the hidden latency visible in the summary::
@@ -61,6 +70,14 @@ from typing import List, Optional
 
 from repro import common_influence_join, uniform_points
 from repro.experiments import list_experiments, run_experiment
+from repro.storage.backends import REMOTE_BACKINGS, STORAGE_BACKENDS
+from repro.storage.pageserver import PageServerError
+
+#: Everything --storage accepts: the four base backends plus the
+#: "remote+backing" forms that pick a spawned page server's own store.
+_STORAGE_CHOICES = tuple(STORAGE_BACKENDS) + tuple(
+    f"remote+{backing}" for backing in REMOTE_BACKINGS
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -162,13 +179,26 @@ def build_parser() -> argparse.ArgumentParser:
     join.add_argument(
         "--storage",
         default=None,
-        choices=("memory", "file", "sqlite"),
-        help="page-store backend (default: $REPRO_STORAGE or memory)",
+        choices=_STORAGE_CHOICES,
+        help="page-store backend (default: $REPRO_STORAGE or memory); "
+        "remote serves pages from a page-server process over TCP "
+        "(remote+file / remote+sqlite pick the spawned server's backing "
+        "store)",
     )
     join.add_argument(
         "--storage-path",
         default=None,
-        help="backing file for --storage file|sqlite (default: owned temp file)",
+        help="backing file for --storage file|sqlite, or HOST:PORT of an "
+        "already-running page server for --storage remote (default: owned "
+        "temp file / a freshly spawned server)",
+    )
+    join.add_argument(
+        "--page-server",
+        default=None,
+        metavar="HOST:PORT",
+        help="attach to an already-running page server "
+        "(python -m repro.storage.pageserver); shorthand for "
+        "--storage remote --storage-path HOST:PORT",
     )
     join.add_argument(
         "--prefetch",
@@ -221,13 +251,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--storage",
         default=None,
-        choices=("memory", "file", "sqlite"),
+        choices=_STORAGE_CHOICES,
         help="page-store backend (default: $REPRO_STORAGE or memory)",
     )
     serve.add_argument(
         "--storage-path",
         default=None,
-        help="backing file for --storage file|sqlite (default: owned temp file)",
+        help="backing file for --storage file|sqlite, or HOST:PORT of an "
+        "already-running page server for --storage remote (default: owned "
+        "temp file / a freshly spawned server)",
     )
     serve.add_argument(
         "--max-queue",
@@ -340,6 +372,36 @@ def _validate_fault_tolerance(
             parser.error(f"--fault-plan: {error}")
 
 
+def _resolve_storage(
+    parser: argparse.ArgumentParser, args: argparse.Namespace
+) -> "tuple[Optional[str], Optional[str]]":
+    """Fold ``--page-server`` into the (storage, storage_path) pair.
+
+    ``--page-server HOST:PORT`` is shorthand for attaching to a running
+    page server; contradictions with an explicit ``--storage``/
+    ``--storage-path`` are rejected loudly instead of being ignored.
+    """
+    storage, storage_path = args.storage, args.storage_path
+    address = getattr(args, "page_server", None)
+    if address is None:
+        return storage, storage_path
+    host, sep, port = address.rpartition(":")
+    if not sep or not host or not port.isdigit():
+        parser.error(f"--page-server expects HOST:PORT (got {address!r})")
+    if storage is not None and storage != "remote":
+        parser.error(
+            f"--page-server attaches to a running server and contradicts "
+            f"--storage {storage}; the backing store is the server's "
+            "business (drop --storage, or pass --storage remote)"
+        )
+    if storage_path is not None and storage_path != address:
+        parser.error(
+            "--page-server and --storage-path name the same server address "
+            "two ways; pass one of them"
+        )
+    return "remote", address
+
+
 def _validate_updates(parser: argparse.ArgumentParser, args: argparse.Namespace) -> None:
     """Reject executor/handoff combinations that contradict ``--updates``.
 
@@ -413,6 +475,12 @@ def _cmd_join(
             compute=compute,
         )
     except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except PageServerError as error:
+        # An unreachable, dead or misbehaving page server is an operator
+        # problem (wrong --page-server address, server not running), not
+        # an internal failure: surface it like the other usage errors.
         print(f"error: {error}", file=sys.stderr)
         return 2
     stats = result.stats
@@ -589,6 +657,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         nodes = _validate_nodes(parser, args)
         _validate_fault_tolerance(parser, args)
         _validate_updates(parser, args)
+        storage, storage_path = _resolve_storage(parser, args)
         return _cmd_join(
             args.n_p,
             args.n_q,
@@ -598,8 +667,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             workers,
             nodes,
             args.reuse_handoff if args.reuse_handoff is not None else "auto",
-            args.storage,
-            args.storage_path,
+            storage,
+            storage_path,
             args.updates,
             args.prefetch,
             args.prefetch_depth,

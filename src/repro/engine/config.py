@@ -16,7 +16,7 @@ from typing import Optional
 
 from repro.geometry.kernels import COMPUTE_MODES
 from repro.geometry.rect import Rect
-from repro.storage.backends import STORAGE_BACKENDS
+from repro.storage.backends import canonical_backend
 
 #: Executor identifiers accepted by :attr:`EngineConfig.executor`.
 EXECUTORS = ("serial", "sharded", "distributed")
@@ -37,6 +37,64 @@ PREFETCH_MODES = ("off", "next_batch", "next_shard")
 
 
 @dataclass(frozen=True)
+class DistributedConfig:
+    """The distributed tier's knobs, in one place.
+
+    These used to sprawl over :class:`EngineConfig` as six flat fields
+    (``nodes``, ``node_timeout``, ``node_retries``, ``node_min_ready``,
+    ``fault_plan``, ``cell_cache``); they still exist there as deprecation
+    shims — every legacy kwarg and CLI flag keeps working, and the two
+    views are kept in sync by ``EngineConfig.__post_init__`` — but new code
+    reads ``config.distributed.*``.
+
+    Attributes
+    ----------
+    nodes, node_timeout, node_retries, min_ready, fault_plan, cell_cache:
+        See the corresponding :class:`EngineConfig` attributes
+        (``min_ready`` is the nested name of ``node_min_ready``).
+    stage_hints:
+        Whether the coordinator piggybacks its ``peek_pending()`` lookahead
+        on unit assignments so nodes stage upcoming units' opening pages
+        (one batched ``fetch_async`` overlapping the current unit's
+        computation).  ``None`` (default) auto-enables exactly when the
+        store is remote — that is where a round trip is worth hiding —
+        and stays off for local file/sqlite nodes.  Logical counters are
+        unaffected either way; staging shows up only in the node's
+        transport stats (``pages_prefetched`` etc. in the run report).
+    """
+
+    nodes: int = 2
+    node_timeout: float = 60.0
+    node_retries: int = 2
+    min_ready: Optional[int] = None
+    fault_plan: Optional[str] = None
+    cell_cache: bool = False
+    stage_hints: Optional[bool] = None
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ValueError("nodes must be at least 1")
+        if self.node_timeout <= 0:
+            raise ValueError("node_timeout must be positive")
+        if self.node_retries < 0:
+            raise ValueError("node_retries must be >= 0")
+        if self.min_ready is not None and self.min_ready < 1:
+            raise ValueError("node_min_ready must be at least 1")
+
+
+#: EngineConfig's legacy flat distributed fields → their DistributedConfig
+#: names, with the flat defaults (the shim-sync logic needs both).
+_DISTRIBUTED_SHIMS = {
+    "nodes": ("nodes", 2),
+    "node_timeout": ("node_timeout", 60.0),
+    "node_retries": ("node_retries", 2),
+    "node_min_ready": ("min_ready", None),
+    "fault_plan": ("fault_plan", None),
+    "cell_cache": ("cell_cache", False),
+}
+
+
+@dataclass(frozen=True)
 class EngineConfig:
     """Execution parameters for one :class:`repro.engine.JoinEngine` run.
 
@@ -54,6 +112,12 @@ class EngineConfig:
         counters are byte-identical to serial for every executor.
     workers:
         Number of local worker processes for the sharded executor.
+    distributed:
+        The distributed tier's knobs as one nested
+        :class:`DistributedConfig`.  ``None`` (default) derives it from
+        the flat shim fields below, which keep working as deprecation
+        shims; passing both a nested value and a conflicting flat kwarg is
+        an error.  New code reads ``config.distributed.*``.
     nodes:
         Number of worker subprocesses for the distributed executor.  Each
         node is a separate interpreter (``python -m repro.engine.node``)
@@ -111,7 +175,9 @@ class EngineConfig:
         Space domain ``U``; defaults to the union of the two tree MBRs.
     storage:
         Page-store backend the run's workload lives on
-        (``"memory" | "file" | "sqlite"``).  ``None`` accepts whatever the
+        (``"memory" | "file" | "sqlite" | "remote"``; the remote backend
+        also accepts ``remote+file`` / ``remote+sqlite`` to pick the
+        spawned page server's backing).  ``None`` accepts whatever the
         trees were built on; a concrete value makes the engine verify the
         trees' disk really uses that backend, so a config and a workload
         built from different sources cannot silently disagree.  The
@@ -174,6 +240,7 @@ class EngineConfig:
     node_retries: int = 2
     node_min_ready: Optional[int] = None
     fault_plan: Optional[str] = None
+    distributed: Optional[DistributedConfig] = None
     pool: str = "auto"
     reuse_handoff: str = "auto"
     reuse_cells: bool = True
@@ -189,6 +256,7 @@ class EngineConfig:
     cell_cache: bool = False
 
     def __post_init__(self) -> None:
+        self._sync_distributed()
         if self.executor not in EXECUTORS:
             raise ValueError(
                 f"unknown executor {self.executor!r}; expected one of {EXECUTORS}"
@@ -202,14 +270,6 @@ class EngineConfig:
             )
         if self.workers < 1:
             raise ValueError("workers must be at least 1")
-        if self.nodes < 1:
-            raise ValueError("nodes must be at least 1")
-        if self.node_timeout <= 0:
-            raise ValueError("node_timeout must be positive")
-        if self.node_retries < 0:
-            raise ValueError("node_retries must be >= 0")
-        if self.node_min_ready is not None and self.node_min_ready < 1:
-            raise ValueError("node_min_ready must be at least 1")
         if self.fault_plan is not None:
             if self.executor != "distributed":
                 raise ValueError(
@@ -226,11 +286,8 @@ class EngineConfig:
                 "subprocesses (their own handles, their own address space) "
                 "would never see"
             )
-        if self.storage is not None and self.storage not in STORAGE_BACKENDS:
-            raise ValueError(
-                f"unknown storage backend {self.storage!r}; "
-                f"expected one of {STORAGE_BACKENDS}"
-            )
+        if self.storage is not None:
+            canonical_backend(self.storage)  # fail fast on an unknown spec
         if self.delta_candidates not in DELTA_CANDIDATES:
             raise ValueError(
                 f"unknown delta_candidates {self.delta_candidates!r}; "
@@ -263,6 +320,61 @@ class EngineConfig:
                 "prefetch='next_batch'"
             )
 
+    def _sync_distributed(self) -> None:
+        """Keep the nested ``distributed`` block and the flat shims equal.
+
+        Built without ``distributed``, the nested block is derived from the
+        flat fields (every legacy kwarg keeps working).  Built *with* it,
+        the nested block is authoritative and the flat shims are synced
+        from it — unless a flat kwarg was also set to a conflicting
+        non-default value, which is a contradiction reported loudly rather
+        than silently resolved.
+        """
+        if self.distributed is None:
+            object.__setattr__(
+                self,
+                "distributed",
+                DistributedConfig(
+                    **{
+                        nested: getattr(self, flat)
+                        for flat, (nested, _) in _DISTRIBUTED_SHIMS.items()
+                    }
+                ),
+            )
+            return
+        for flat, (nested, default) in _DISTRIBUTED_SHIMS.items():
+            flat_value = getattr(self, flat)
+            nested_value = getattr(self.distributed, nested)
+            if flat_value != default and flat_value != nested_value:
+                raise ValueError(
+                    f"conflicting distributed settings: {flat}={flat_value!r} "
+                    f"(legacy kwarg) vs distributed.{nested}={nested_value!r}; "
+                    "set the value in one place only"
+                )
+            object.__setattr__(self, flat, nested_value)
+
     def replace(self, **overrides) -> "EngineConfig":
-        """A copy of this config with the given fields replaced."""
+        """A copy of this config with the given fields replaced.
+
+        The flat distributed shims and the nested block stay coherent:
+        overriding a flat field (``nodes=4``) rebuilds the nested block
+        from the updated flat fields, while overriding ``distributed``
+        resets any flat shim *not* explicitly overridden alongside it, so
+        the nested value wins instead of colliding with a stale shim.
+        """
+        if "distributed" not in overrides and any(
+            flat in overrides for flat in _DISTRIBUTED_SHIMS
+        ):
+            # Rebuild the nested block from the overridden flat fields,
+            # carrying over what has no flat twin (stage_hints).
+            overrides["distributed"] = DistributedConfig(
+                stage_hints=self.distributed.stage_hints,
+                **{
+                    nested: overrides.get(flat, getattr(self.distributed, nested))
+                    for flat, (nested, _) in _DISTRIBUTED_SHIMS.items()
+                },
+            )
+        elif overrides.get("distributed") is not None:
+            for flat, (_, default) in _DISTRIBUTED_SHIMS.items():
+                overrides.setdefault(flat, default)
         return dataclasses.replace(self, **overrides)

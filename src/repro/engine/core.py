@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Union
 
 from repro.geometry.kernels import resolve_compute_mode
 from repro.index.rtree import RTree
+from repro.storage.backends import canonical_backend
 from repro.join.conditional_filter import FilterStats
 from repro.join.result import CIJResult, JoinStats
 from repro.voronoi.single import CellComputationStats
@@ -95,7 +96,9 @@ class JoinEngine:
             raise ValueError("both input trees must share one DiskManager")
         if (
             effective.storage is not None
-            and tree_p.disk.storage_backend != effective.storage
+            # Compare canonical base names: "remote+sqlite" in the config
+            # matches the "remote" client store the workload opened.
+            and tree_p.disk.storage_backend != canonical_backend(effective.storage)
         ):
             raise ValueError(
                 f"config asks for the {effective.storage!r} storage backend but the "
@@ -103,7 +106,7 @@ class JoinEngine:
                 "workload with the same backend (see repro.datasets.workload)"
             )
         if effective.storage_path is not None:
-            store_path = getattr(tree_p.disk.store, "path", None)
+            store_path = tree_p.disk.store.location
             if store_path != effective.storage_path:
                 raise ValueError(
                     f"config asks for storage at {effective.storage_path!r} but the "

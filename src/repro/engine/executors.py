@@ -40,7 +40,9 @@ executions produce identical counters, not just identical pairs.
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing
+import os
 import threading
 import time
 from dataclasses import dataclass
@@ -73,6 +75,13 @@ class ShardResult:
     #: is the buffer's JSON wire form, which the coordinator forwards
     #: opaquely to whichever node draws the next chained unit.
     carry: Optional[object] = None
+    #: Worker-side physical transport snapshot riding along with the unit:
+    #: ``{"worker": id, "seq": units-served, "stats": StorageStats dict}``.
+    #: The stats are *cumulative* for the worker handle, so the executor
+    #: keeps only the highest-``seq`` snapshot per worker and absorbs each
+    #: worker's total exactly once — retries and quarantines cannot
+    #: double-count (see ``DiskManager.absorb_worker_storage``).
+    storage: Optional[Dict[str, object]] = None
 
 
 class SerialExecutor:
@@ -94,6 +103,7 @@ def _worker_init(algorithm, ctx, units, handoff: bool = False) -> None:
     _WORKER_STATE["ctx"] = ctx
     _WORKER_STATE["units"] = units
     _WORKER_STATE["handoff"] = handoff
+    _WORKER_STATE["served"] = 0
     # The worker's forked buffer copy *is* the parent's dispatch-time
     # state; capture it so every unit this worker picks up starts from
     # it, even when the pool hands one worker many units.
@@ -118,7 +128,48 @@ def _worker_run_shard(index: int, carry: Optional[object] = None) -> ShardResult
         # Nobody consumes the outbound carry without the boundary handoff;
         # keep the (potentially large) REUSE buffer off the result pipe.
         result.carry = None
+    # Cumulative transport snapshot of this worker's own handle (counters
+    # were zeroed at reopen, so the parent's pre-fork traffic is excluded).
+    _WORKER_STATE["served"] += 1
+    result.storage = {
+        "worker": f"fork-{os.getpid()}",
+        "seq": _WORKER_STATE["served"],
+        "stats": storage_stats_snapshot(ctx.disk),
+    }
     return result
+
+
+def storage_stats_snapshot(disk) -> Dict[str, object]:
+    """A worker disk's ``storage_stats()`` as a plain (wire-safe) dict."""
+    return dataclasses.asdict(disk.storage_stats())
+
+
+def collect_worker_snapshot(
+    snapshots: Dict[str, Tuple[int, Dict[str, object]]],
+    lock: threading.Lock,
+    result: ShardResult,
+    worker_id: Optional[str] = None,
+) -> None:
+    """Keep the latest cumulative storage snapshot per worker handle."""
+    if result.storage is None:
+        return
+    worker = str(result.storage.get("worker") or worker_id or "")
+    if not worker:
+        return
+    seq = int(result.storage.get("seq", 0))
+    stats = result.storage.get("stats")
+    if not isinstance(stats, dict):
+        return
+    with lock:
+        if seq >= snapshots.get(worker, (0, None))[0]:
+            snapshots[worker] = (seq, stats)
+
+
+def absorb_worker_snapshots(
+    ctx: JoinContext, snapshots: Dict[str, Tuple[int, Dict[str, object]]]
+) -> None:
+    if snapshots:
+        ctx.disk.absorb_worker_storage([stats for _, stats in snapshots.values()])
 
 
 def _execute_shard(
@@ -255,6 +306,8 @@ class ShardedExecutor:
         if pool is None:
             return False
         errors: List[BaseException] = []
+        snapshots: Dict[str, Tuple[int, Dict[str, object]]] = {}
+        snapshot_lock = threading.Lock()
 
         def drive(worker_id: str) -> None:
             while True:
@@ -269,6 +322,7 @@ class ShardedExecutor:
                     errors.append(error)
                     coordinator.abort(error)
                     return
+                collect_worker_snapshot(snapshots, snapshot_lock, result)
                 coordinator.record_result(assignment.index, result)
 
         with pool:
@@ -282,6 +336,7 @@ class ShardedExecutor:
                 thread.join()
         if errors:
             raise errors[0]
+        absorb_worker_snapshots(ctx, snapshots)
         return True
 
     def _run_units_inline(
@@ -406,6 +461,7 @@ class DistributedExecutor:
         fault_plan: Optional[object] = None,
         heartbeat_interval: Optional[float] = None,
         retry_backoff: float = 0.05,
+        stage_hints: Optional[bool] = None,
     ):
         from repro.engine.faults import resolve_plan
 
@@ -433,6 +489,10 @@ class DistributedExecutor:
         self.min_ready = min_ready
         #: Deterministic fault plan (spec string or FaultPlan) — testing.
         self.fault_plan = resolve_plan(fault_plan)
+        #: Piggyback coordinator lookahead on unit assignments so nodes
+        #: stage upcoming units' opening pages (None = auto: on exactly
+        #: when the store is remote, where a round trip is worth hiding).
+        self.stage_hints = stage_hints
         self.heartbeat_interval = heartbeat_interval
         #: Base sleep before re-running a released unit (doubles per
         #: attempt, capped) so a transiently sick tier is not hammered.
@@ -462,23 +522,31 @@ class DistributedExecutor:
                 f"{algorithm.display_name} does not support distributed "
                 "execution; its join phase has no shard units"
             )
-        backend = ctx.disk.storage_backend
-        path = getattr(ctx.disk.store, "path", None)
-        if backend == "memory" or path is None:
+        store = ctx.disk.store
+        if not store.supports_worker_reopen or store.location is None:
             raise ValueError(
-                "executor='distributed' needs an on-disk shared backend that "
-                "node subprocesses can reopen read-only; use storage='file' "
-                f"or storage='sqlite' (got {backend!r})"
+                "executor='distributed' needs a shared backend that node "
+                "subprocesses can reopen read-only; use storage='file', "
+                f"'sqlite' or 'remote' (the {store.name!r} store lives only "
+                "in this process)"
             )
         units = algorithm.work_units(ctx)
         if not units:
             return []
         handoff = self._handoff_enabled(algorithm)
+        # Auto stage-hints: over the remote page server every cold page is
+        # a round trip, so the coordinator's lookahead is worth shipping;
+        # local file/sqlite nodes read at memory-bus speed and skip it.
+        stage = (
+            self.stage_hints
+            if self.stage_hints is not None
+            else bool(store.supports_remote)
+        )
         coordinator = UnitCoordinator(
             units, chained=handoff, max_attempts=self.node_retries + 1
         )
         base_accesses = ctx.disk.counters.diff(ctx.start_counters).page_accesses
-        spec = node_plane.node_init_spec(algorithm, ctx, handoff)
+        spec = node_plane.node_init_spec(algorithm, ctx, handoff, stage_hints=stage)
         count = min(self.nodes, len(units))
         quorum = min(self.min_ready if self.min_ready is not None else count, count)
 
@@ -486,6 +554,8 @@ class DistributedExecutor:
         self.node_pids = {}
         nodes: List[node_plane.NodeProcess] = []
         registry_lock = threading.Lock()
+        snapshots: Dict[str, Tuple[int, Dict[str, object]]] = {}
+        snapshot_lock = threading.Lock()
         state_lock = threading.Lock()
         state = {"ready": 0, "live": count}
         start_gate = threading.Event()
@@ -562,8 +632,19 @@ class DistributedExecutor:
                             self.MAX_BACKOFF,
                         )
                     )
+                hints = None
+                if stage:
+                    # Ship the coordinator's lookahead with the assignment;
+                    # the node computes the page plan itself (NM/PM unit
+                    # planning reads the trees) and stages one batched
+                    # fetch while this unit computes.
+                    pending = coordinator.peek_pending(ctx.config.prefetch_depth)
+                    if pending:
+                        hints = [unit.to_wire() for unit in pending]
                 try:
-                    result = node.run_unit(assignment, timeout=self.node_timeout)
+                    result = node.run_unit(
+                        assignment, timeout=self.node_timeout, stage=hints
+                    )
                 except node_plane.NodeFailure as error:
                     # Lease back to the queue first, then retire the node:
                     # a sibling can pick the unit up immediately.
@@ -574,6 +655,9 @@ class DistributedExecutor:
                     errors.append(error)
                     coordinator.abort(error)
                     return
+                collect_worker_snapshot(
+                    snapshots, snapshot_lock, result, worker_id=worker_id
+                )
                 coordinator.record_result(assignment.index, result)
 
         try:
@@ -611,6 +695,9 @@ class DistributedExecutor:
             raise errors[0]
         if coordinator.error is not None:
             raise coordinator.error
+        # Quarantined nodes' last snapshots are in here too: the traffic
+        # they caused before failing is honest physical cost of the run.
+        absorb_worker_snapshots(ctx, snapshots)
         return coordinator.merge(ctx, base_accesses, absorb_counters=True)
 
 
@@ -625,12 +712,14 @@ def executor_for(config: EngineConfig):
             reuse_handoff=config.reuse_handoff,
         )
     if config.executor == "distributed":
+        dist = config.distributed
         return DistributedExecutor(
-            nodes=config.nodes,
+            nodes=dist.nodes,
             reuse_handoff=config.reuse_handoff,
-            node_timeout=config.node_timeout,
-            node_retries=config.node_retries,
-            min_ready=config.node_min_ready,
-            fault_plan=config.fault_plan,
+            node_timeout=dist.node_timeout,
+            node_retries=dist.node_retries,
+            min_ready=dist.min_ready,
+            fault_plan=dist.fault_plan,
+            stage_hints=dist.stage_hints,
         )
     raise ValueError(f"unknown executor {config.executor!r}")

@@ -171,13 +171,20 @@ def _tree_spec(tree: RTree) -> Dict[str, Any]:
     }
 
 
-def node_init_spec(algorithm, ctx, handoff: bool) -> Dict[str, Any]:
+def node_init_spec(
+    algorithm, ctx, handoff: bool, stage_hints: bool = False
+) -> Dict[str, Any]:
     """Everything a node needs to rebuild the run's read view.
 
     Trees are described by root/fanout metadata only — the pages
     themselves live in the shared store, which is the whole point of the
-    tier.  ``resident`` is the dispatch-time LRU residency (least to most
-    recently used) the node rewinds to before every unit.
+    tier.  The storage entry is the store's own ``worker_spec()`` (what a
+    subprocess must reopen: backend name + shared location — a path for
+    file/sqlite, a host:port for the remote page server).  ``resident``
+    is the dispatch-time LRU residency (least to most recently used) the
+    node rewinds to before every unit.  ``stage_hints`` tells the node to
+    attach a prefetch scheduler and stage whatever unit lookahead the
+    coordinator piggybacks on assignments.
     """
     disk = ctx.disk
     prepared = {
@@ -186,17 +193,19 @@ def node_init_spec(algorithm, ctx, handoff: bool) -> Dict[str, Any]:
         if isinstance(tree, RTree)
     }
     resident, _cache = disk.buffer_state()
+    storage = disk.store.worker_spec()
+    storage.update(
+        {
+            "page_size": disk.page_size,
+            "buffer_capacity": disk.buffer.capacity,
+            "resident": list(resident),
+        }
+    )
     return {
         "version": PROTOCOL_VERSION,
         "algorithm": algorithm.name,
         "handoff": handoff,
-        "storage": {
-            "backend": disk.storage_backend,
-            "path": str(disk.store.path),
-            "page_size": disk.page_size,
-            "buffer_capacity": disk.buffer.capacity,
-            "resident": list(resident),
-        },
+        "storage": storage,
         "tree_p": _tree_spec(ctx.tree_p),
         "tree_q": _tree_spec(ctx.tree_q),
         "prepared": prepared,
@@ -207,6 +216,8 @@ def node_init_spec(algorithm, ctx, handoff: bool) -> Dict[str, Any]:
             "progress_interval": ctx.config.progress_interval,
             "compute": ctx.config.compute or "scalar",
             "cell_cache": ctx.config.cell_cache,
+            "stage_hints": stage_hints,
+            "prefetch_depth": ctx.config.prefetch_depth,
         },
     }
 
@@ -376,19 +387,30 @@ class NodeProcess:
             )
         self._ready = True
 
-    def run_unit(self, assignment, timeout: Optional[float] = None) -> "ShardResult":
-        """Execute one assignment on the node; blocks until its result."""
+    def run_unit(
+        self,
+        assignment,
+        timeout: Optional[float] = None,
+        stage: Optional[List[Dict[str, Any]]] = None,
+    ) -> "ShardResult":
+        """Execute one assignment on the node; blocks until its result.
+
+        ``stage`` piggybacks the coordinator's pending-unit lookahead (wire
+        forms) so the node can stage those units' opening pages while this
+        assignment computes — advisory, physical-transport-only.
+        """
         from repro.engine.executors import ShardResult
 
-        self._send(
-            {
-                "type": "unit",
-                "index": assignment.index,
-                "unit": assignment.unit.to_wire(),
-                # Opaque: whatever wire form the producing node returned.
-                "carry": assignment.carry,
-            }
-        )
+        message_out = {
+            "type": "unit",
+            "index": assignment.index,
+            "unit": assignment.unit.to_wire(),
+            # Opaque: whatever wire form the producing node returned.
+            "carry": assignment.carry,
+        }
+        if stage:
+            message_out["stage"] = stage
+        self._send(message_out)
         message = self._recv(timeout=timeout)
         if message.get("type") != "result":
             raise NodeProtocolError(
@@ -408,6 +430,7 @@ class NodeProcess:
             filter_stats=FilterStats(**message["filter_stats"]),
             counters=counters_from_wire(message["counters"]),
             carry=message.get("carry"),
+            storage=message.get("storage"),
         )
 
     def quarantine(self) -> None:
@@ -525,7 +548,15 @@ def _bootstrap(spec: Dict[str, Any]):
         progress_interval=knobs["progress_interval"],
         compute=knobs["compute"],
         cell_cache=knobs["cell_cache"],
+        prefetch_depth=int(knobs.get("prefetch_depth", 2)),
     )
+    if knobs.get("stage_hints"):
+        # Staged hints arrive with unit assignments; the scheduler turns
+        # them into one batched ``fetch_async`` (a single ``read_batch``
+        # RPC on the remote store) that overlaps the unit's computation.
+        # Logical counters never route through the scheduler, so staging
+        # is physical-transport-only.
+        disk.enable_prefetch()
     domain = Rect(*spec["domain"])
     tree_p = _build_tree(disk, spec["tree_p"])
     tree_q = _build_tree(disk, spec["tree_q"])
@@ -554,7 +585,7 @@ _HANG_SECONDS = 600.0
 
 
 def main() -> int:
-    from repro.engine.executors import _execute_shard
+    from repro.engine.executors import _execute_shard, storage_stats_snapshot
     from repro.engine.faults import FaultInjector
     from repro.engine.units import WorkUnit
 
@@ -610,6 +641,7 @@ def main() -> int:
     reply({"type": "ready", "version": PROTOCOL_VERSION})
 
     disk = parent_ctx.disk
+    served = 0
     try:
         while True:
             line = stdin.readline()
@@ -640,6 +672,16 @@ def main() -> int:
                 disk.restore_buffer_state(dispatch_state)
                 unit = WorkUnit.from_wire(message["unit"])
                 carry = carry_from_wire(message.get("carry"))
+                stage_wire = message.get("stage")
+                if stage_wire and disk.prefetcher is not None:
+                    # Coordinator lookahead: plan the upcoming units' opening
+                    # pages locally (the planners read uncounted, so logical
+                    # counters stay byte-identical) and issue one batched
+                    # fetch that runs while this unit computes.
+                    staged = [WorkUnit.from_wire(wire) for wire in stage_wire]
+                    pages = algorithm.prefetch_pages(parent_ctx, staged)
+                    if pages:
+                        disk.prefetcher.request(pages)
                 result = _execute_shard(
                     algorithm,
                     parent_ctx,
@@ -666,6 +708,7 @@ def main() -> int:
                         stdout.flush()
                     injector.unit_completed()
                     continue
+                served += 1
                 reply(
                     {
                         "type": "result",
@@ -676,6 +719,13 @@ def main() -> int:
                         "filter_stats": record_to_wire(result.filter_stats),
                         "counters": counters_to_wire(result.counters),
                         "carry": carry_to_wire(result.carry) if handoff else None,
+                        # Cumulative transport snapshot of this node's own
+                        # handle; the parent keeps the highest-seq snapshot
+                        # per node and absorbs it exactly once.
+                        "storage": {
+                            "seq": served,
+                            "stats": storage_stats_snapshot(disk),
+                        },
                     }
                 )
                 injector.unit_completed()

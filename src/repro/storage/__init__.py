@@ -12,26 +12,54 @@ subpackage provides exactly that substrate:
   belongs to, so materialisation (MAT) and join (JOIN) costs can be broken
   down as in Figure 7,
 * :mod:`~repro.storage.backends` — the pluggable byte stores behind the
-  disk manager (``memory`` dict, slotted binary ``file``, ``sqlite``), all
-  satisfying one :class:`~repro.storage.backends.PageStore` contract and
-  one conformance test suite.
+  disk manager (``memory`` dict, slotted binary ``file``, ``sqlite``, and
+  the ``remote`` page-server client), all satisfying one
+  :class:`~repro.storage.backends.PageStore` contract — a
+  ``runtime_checkable`` protocol with capability flags — and one
+  conformance test suite.  Backend selection routes through
+  :func:`~repro.storage.backends.open_store`.
+* :mod:`~repro.storage.pageserver` — the page-server process and its
+  client store (imported lazily: it pulls in socket/subprocess machinery
+  local backends never need).
 """
 
 from repro.storage.backends import (
+    REMOTE_BACKINGS,
     STORAGE_BACKENDS,
     STORAGE_ENV_VAR,
     FilePageStore,
     MemoryPageStore,
     PageRecord,
     PageStore,
+    PageStoreBase,
     SQLitePageStore,
     StorageStats,
+    canonical_backend,
     create_page_store,
     default_storage_backend,
+    open_store,
 )
 from repro.storage.buffer import LRUBuffer
 from repro.storage.counters import IOCounters
 from repro.storage.disk import DiskManager, PAGE_SIZE_DEFAULT
+
+_PAGESERVER_EXPORTS = (
+    "PageServer",
+    "PageServerError",
+    "RemotePageStore",
+    "spawn_page_server",
+)
+
+
+def __getattr__(name):
+    # Lazy so importing repro.storage never drags in the service protocol
+    # (pageserver reuses it, and repro.service imports the engine).
+    if name in _PAGESERVER_EXPORTS:
+        from repro.storage import pageserver
+
+        return getattr(pageserver, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "LRUBuffer",
@@ -39,13 +67,21 @@ __all__ = [
     "DiskManager",
     "PAGE_SIZE_DEFAULT",
     "PageStore",
+    "PageStoreBase",
     "PageRecord",
     "StorageStats",
     "MemoryPageStore",
     "FilePageStore",
     "SQLitePageStore",
+    "PageServer",
+    "PageServerError",
+    "RemotePageStore",
+    "spawn_page_server",
+    "canonical_backend",
     "create_page_store",
+    "open_store",
     "default_storage_backend",
     "STORAGE_BACKENDS",
+    "REMOTE_BACKINGS",
     "STORAGE_ENV_VAR",
 ]

@@ -1,7 +1,7 @@
 """Pluggable page-store backends for :class:`~repro.storage.disk.DiskManager`.
 
 The disk manager owns the paper's *cost model* (LRU buffer, read/write
-counters); a :class:`PageStore` owns the *bytes*.  Three backends ship:
+counters); a :class:`PageStore` owns the *bytes*.  Four backends ship:
 
 * :class:`MemoryPageStore` — the original dict of live payload objects; the
   default, with behaviour bit-identical to the pre-backend disk manager.
@@ -13,15 +13,31 @@ counters); a :class:`PageStore` owns the *bytes*.  Three backends ship:
   the slot scan keeps, per page, the newest record whose checksum verifies.
 * :class:`SQLitePageStore` — one ``pages`` table in an SQLite database,
   durable and readable by other processes.
+* :class:`~repro.storage.pageserver.RemotePageStore` — a client for the
+  NDJSON page-server process (:mod:`repro.storage.pageserver`), which owns
+  a file/sqlite store and serves it over TCP so workers need no shared
+  filesystem at all.
 
-Backend selection is threaded through the engine config, the workload
-builder and the CLI as ``memory | file | sqlite``; the ``REPRO_STORAGE``
+The contract is formalized twice: :class:`PageStore` is a
+``runtime_checkable`` :class:`~typing.Protocol` (the structural contract
+capability queries check against), and :class:`PageStoreBase` is an ABC
+with default implementations new backends can inherit.  Capability flags
+(``supports_async``, ``supports_worker_reopen``, ``supports_remote``) plus
+the ``location`` property replace the old scattered ``hasattr``/backend-
+name string checks: the engine asks a store what it can do instead of
+guessing from its name.
+
+Backend selection routes through one factory — :func:`open_store` for
+spec strings (``"file:/data/pages.bin"``, ``"remote:HOST:PORT"``,
+``"remote+sqlite"``) or :func:`create_page_store` for the split
+``(backend, path)`` form the engine config carries.  The ``REPRO_STORAGE``
 environment variable overrides the default so the whole test tier can run
 against any backend (the CI matrix does exactly that).
 """
 
 from __future__ import annotations
 
+import abc
 import io
 import os
 import struct
@@ -29,46 +45,118 @@ import tempfile
 import weakref
 import zlib
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Protocol, Tuple
+from typing import Any, Dict, List, Optional, Protocol, Tuple, runtime_checkable
 
 #: Backend identifiers accepted by :func:`create_page_store`.
-STORAGE_BACKENDS = ("memory", "file", "sqlite")
+STORAGE_BACKENDS = ("memory", "file", "sqlite", "remote")
+
+#: Backings the remote page server can serve (``remote+file`` spawns a
+#: file-backed server, ``remote+sqlite`` an SQLite-backed one).
+REMOTE_BACKINGS = ("file", "sqlite")
 
 #: Environment variable selecting the default backend (used by CI).
 STORAGE_ENV_VAR = "REPRO_STORAGE"
 
 
+def canonical_backend(name: str) -> str:
+    """The base backend a storage name resolves to, validated.
+
+    ``"remote+sqlite"`` → ``"remote"``; plain names pass through.  This is
+    the single place a storage name is parsed, so the engine config, the
+    workload builder and :meth:`~repro.storage.disk.DiskManager.storage_backend`
+    comparisons all agree on what counts as the same backend.
+    """
+    base, _, backing = name.strip().lower().partition("+")
+    if base not in STORAGE_BACKENDS:
+        raise ValueError(
+            f"unknown storage backend {name!r}; expected one of {STORAGE_BACKENDS}"
+            " (the remote backend also accepts remote+file / remote+sqlite)"
+        )
+    if backing:
+        if base != "remote":
+            raise ValueError(
+                f"storage backend {name!r} does not take a '+backing' suffix; "
+                "only the remote page server does (remote+file, remote+sqlite)"
+            )
+        if backing not in REMOTE_BACKINGS:
+            raise ValueError(
+                f"unknown remote backing {backing!r} in {name!r}; "
+                f"expected one of {REMOTE_BACKINGS}"
+            )
+    return base
+
+
 def default_storage_backend() -> str:
     """The backend used when none is requested: ``$REPRO_STORAGE`` or memory."""
     backend = os.environ.get(STORAGE_ENV_VAR, "memory").strip().lower() or "memory"
-    if backend not in STORAGE_BACKENDS:
+    try:
+        canonical_backend(backend)
+    except ValueError:
         raise ValueError(
             f"{STORAGE_ENV_VAR}={backend!r} is not a known backend; "
             f"expected one of {STORAGE_BACKENDS}"
-        )
+        ) from None
     return backend
 
 
 def create_page_store(
     backend: Optional[str] = None, path: Optional[str] = None, **options
 ) -> "PageStore":
-    """Instantiate a backend by name (``None`` resolves the default)."""
+    """Instantiate a backend by name (``None`` resolves the default).
+
+    For the remote backend, ``path`` carries the page server's
+    ``HOST:PORT`` address; ``None`` spawns an owned server process (backed
+    by ``remote+file`` / ``remote+sqlite``, default file) that is shut
+    down when the store is closed.
+    """
     backend = backend if backend is not None else default_storage_backend()
     backend = backend.strip().lower()
-    if backend == "memory":
+    base = canonical_backend(backend)
+    if base == "memory":
         if path is not None:
             raise ValueError(
                 "the memory backend keeps no file: storage_path requires "
-                "storage='file' or storage='sqlite'"
+                "storage='file', 'sqlite' or 'remote'"
             )
         return MemoryPageStore()
-    if backend == "file":
+    if base == "file":
         return FilePageStore(path, **options)
-    if backend == "sqlite":
+    if base == "sqlite":
         return SQLitePageStore(path, **options)
-    raise ValueError(
-        f"unknown storage backend {backend!r}; expected one of {STORAGE_BACKENDS}"
-    )
+    # base == "remote": imported lazily — the page-server client pulls in
+    # socket/subprocess machinery local backends never need.
+    from repro.storage.pageserver import RemotePageStore
+
+    _, _, backing = backend.partition("+")
+    if backing:
+        options.setdefault("backing", backing)
+    return RemotePageStore(address=path, **options)
+
+
+def open_store(spec: Optional[object] = None, **options) -> "PageStore":
+    """The one factory every backend selection routes through.
+
+    ``spec`` may be:
+
+    * ``None`` — the default backend (``$REPRO_STORAGE`` or memory);
+    * a :class:`PageStore` instance — returned unchanged;
+    * a spec string ``"backend[:path]"`` — ``"memory"``,
+      ``"file:/data/pages.bin"``, ``"sqlite"`` (owned temp),
+      ``"remote:127.0.0.1:7070"`` (attach to a running page server),
+      ``"remote"`` / ``"remote+sqlite"`` (spawn an owned server).
+    """
+    if spec is None:
+        return create_page_store(None, None, **options)
+    if isinstance(spec, PageStore):
+        return spec
+    if not isinstance(spec, str):
+        raise TypeError(
+            f"open_store expects a backend spec string or a PageStore, "
+            f"got {type(spec).__name__}"
+        )
+    backend, sep, rest = spec.partition(":")
+    path = rest if sep else None
+    return create_page_store(backend, path or None, **options)
 
 
 @dataclass
@@ -201,6 +289,7 @@ class _AsyncReader:
             self._pool = None
 
 
+@runtime_checkable
 class PageStore(Protocol):
     """Byte-storage contract behind :class:`~repro.storage.disk.DiskManager`.
 
@@ -208,9 +297,40 @@ class PageStore(Protocol):
     oblivious to the LRU buffer and the I/O counters — the disk manager
     decides *when* a backend is touched; the backend decides *how* bytes
     are kept.
+
+    The engine never inspects a store's concrete type or name; it asks the
+    capability flags and :attr:`location` instead:
+
+    ``supports_async``
+        :meth:`fetch_async` genuinely overlaps byte movement with the
+        caller (worker thread or wire); the in-memory backend completes
+        fetches inline, so it reports ``False``.
+    ``supports_worker_reopen``
+        :meth:`reopen_in_worker` yields an independent read-only handle a
+        worker process can use — the precondition for the fork pool and the
+        distributed node tier.
+    ``supports_remote``
+        The store reaches its bytes over the network, so workers need no
+        shared filesystem (only the remote page-server client sets this).
+    ``location``
+        Where a fresh handle should attach: a filesystem path for the
+        serializing backends, a ``HOST:PORT`` address for the remote
+        client, ``None`` for process-private stores.
     """
 
     name: str
+    supports_async: bool
+    supports_worker_reopen: bool
+    supports_remote: bool
+
+    @property
+    def location(self) -> Optional[str]:
+        """Path/address a worker can reopen this store from (None if none)."""
+        ...
+
+    def worker_spec(self) -> Dict[str, Optional[str]]:
+        """``{"backend", "path"}`` recreating this store in another process."""
+        ...
 
     def write_page(self, page_id: int, tag: str, payload: Any, size_bytes: int) -> None:
         """Insert or overwrite one page."""
@@ -269,10 +389,92 @@ class PageStore(Protocol):
         ...
 
 
+class PageStoreBase(abc.ABC):
+    """Default implementations for :class:`PageStore` backends.
+
+    Concrete backends inherit the capability flags (conservative defaults:
+    a store can do nothing special until it says so), the ``location`` /
+    ``worker_spec`` plumbing and a synchronous ``fetch_async`` fallback,
+    and override what their byte layout makes cheaper.
+    """
+
+    name = "abstract"
+    supports_async = False
+    supports_worker_reopen = False
+    supports_remote = False
+
+    @property
+    def location(self) -> Optional[str]:
+        return getattr(self, "path", None)
+
+    def worker_spec(self) -> Dict[str, Optional[str]]:
+        if not self.supports_worker_reopen or self.location is None:
+            raise ValueError(
+                f"the {self.name!r} backend cannot be reopened by worker "
+                "processes: it has no shareable location"
+            )
+        return {"backend": self.name, "path": self.location}
+
+    @abc.abstractmethod
+    def write_page(self, page_id: int, tag: str, payload: Any, size_bytes: int) -> None:
+        ...
+
+    @abc.abstractmethod
+    def read_page(self, page_id: int, count: bool = True) -> PageRecord:
+        ...
+
+    def fetch_async(self, page_ids: List[int]) -> PageFetch:
+        """Synchronous fallback: uncounted reads, completed immediately."""
+        records: Dict[int, PageRecord] = {}
+        for page_id in page_ids:
+            try:
+                records[page_id] = self.read_page(page_id, count=False)
+            except KeyError:
+                continue
+        return CompletedPageFetch(records)
+
+    def page_meta(self, page_id: int) -> Tuple[str, int]:
+        record = self.read_page(page_id, count=False)
+        return record.tag, record.size_bytes
+
+    @abc.abstractmethod
+    def free_page(self, page_id: int) -> bool:
+        ...
+
+    @abc.abstractmethod
+    def page_ids(self) -> List[int]:
+        ...
+
+    def page_count(self, tag: Optional[str] = None) -> int:
+        if tag is None:
+            return len(self.page_ids())
+        return sum(1 for page_id in self.page_ids() if self.page_meta(page_id)[0] == tag)
+
+    def data_size_bytes(self, tag: Optional[str] = None) -> int:
+        return sum(
+            self.page_meta(page_id)[1]
+            for page_id in self.page_ids()
+            if tag is None or self.page_meta(page_id)[0] == tag
+        )
+
+    @abc.abstractmethod
+    def stats(self) -> StorageStats:
+        ...
+
+    def reopen_in_worker(self) -> None:
+        if not self.supports_worker_reopen:
+            raise RuntimeError(
+                f"the {self.name!r} backend cannot be reopened in a worker process"
+            )
+
+    def close(self) -> None:
+        pass
+
+
 # ----------------------------------------------------------------------
 # memory
 # ----------------------------------------------------------------------
-class MemoryPageStore:
+class MemoryPageStore(PageStoreBase):
     """The original backend: live payload objects in a dict.
 
     No serialization happens, so reads hand back the very object that was
@@ -280,6 +482,11 @@ class MemoryPageStore:
     """
 
     name = "memory"
+    # Fork-safe through copy-on-write, but there is nothing another process
+    # could attach to (location is None) and fetches complete inline.
+    supports_async = False
+    supports_worker_reopen = True
+    supports_remote = False
 
     def __init__(self) -> None:
         self._pages: Dict[int, PageRecord] = {}
@@ -369,7 +576,7 @@ class _SimulatedCrash(RuntimeError):
     """Raised by the fault-injection hook after a partial slot write."""
 
 
-class FilePageStore:
+class FilePageStore(PageStoreBase):
     """Fixed-size-slot page store over a single binary file.
 
     Every record is self-describing (page id, monotone sequence number,
@@ -396,6 +603,9 @@ class FilePageStore:
     """
 
     name = "file"
+    supports_async = True
+    supports_worker_reopen = True
+    supports_remote = False
 
     def __init__(
         self,
@@ -546,6 +756,14 @@ class FilePageStore:
         # it (and the prefetch handle) rather than shutting it down.
         self._async = _AsyncReader(self._prefetch_read)
         self._prefetch_handle = None
+        # A forked worker inherits the parent's byte counters; zero them so
+        # this handle's stats report only the worker's own traffic.  The
+        # executor folds worker snapshots into the parent's report, and the
+        # parent already counted its pre-fork bytes — carrying them here
+        # would double-count them exactly once per worker.
+        self._bytes_read = 0
+        self._bytes_written = 0
+        self._bytes_prefetched = 0
 
     def close(self) -> None:
         self._async.close()
@@ -803,21 +1021,30 @@ def _cleanup_file(path: str, owner_pid: int, owned: bool) -> None:
 # ----------------------------------------------------------------------
 # sqlite
 # ----------------------------------------------------------------------
-class SQLitePageStore:
+class SQLitePageStore(PageStoreBase):
     """Durable page store in one SQLite table, readable by other processes.
 
     Each page write is its own autocommitted transaction, so SQLite's
     journal provides the old-or-new guarantee the file backend implements
     by hand.  ``None`` as path creates an owned temporary database deleted
     on :meth:`close`.
+
+    ``cross_thread=True`` opens the main connection with
+    ``check_same_thread=False`` for callers that serialize access under
+    their own lock from several threads — the page server's
+    thread-per-connection handlers are the one such caller.
     """
 
     name = "sqlite"
+    supports_async = True
+    supports_worker_reopen = True
+    supports_remote = False
 
-    def __init__(self, path: Optional[str] = None):
+    def __init__(self, path: Optional[str] = None, cross_thread: bool = False):
         import sqlite3
 
         self._sqlite3 = sqlite3
+        self._cross_thread = cross_thread
         self._owns_path = path is None
         if path is None:
             fd, path = tempfile.mkstemp(prefix="repro-pages-", suffix=".sqlite")
@@ -831,7 +1058,9 @@ class SQLitePageStore:
         #: Read-only connection owned by the prefetch worker thread
         #: (SQLite connections must not be shared across threads).
         self._prefetch_conn = None
-        self._conn = sqlite3.connect(self.path, isolation_level=None)
+        self._conn = sqlite3.connect(
+            self.path, isolation_level=None, check_same_thread=not cross_thread
+        )
         self._conn.execute(
             "CREATE TABLE IF NOT EXISTS pages ("
             " page_id INTEGER PRIMARY KEY,"
@@ -958,6 +1187,11 @@ class SQLitePageStore:
         # connection no owning thread) in this process; replace both.
         self._async = _AsyncReader(self._prefetch_read)
         self._prefetch_conn = None
+        # Zero the inherited counters: worker snapshots must report only
+        # the worker's own traffic (see FilePageStore.reopen_in_worker).
+        self._bytes_read = 0
+        self._bytes_written = 0
+        self._bytes_prefetched = 0
 
     def close(self) -> None:
         self._async.close()
@@ -972,6 +1206,7 @@ class SQLitePageStore:
 
 __all__ = [
     "PageStore",
+    "PageStoreBase",
     "PageRecord",
     "PageFetch",
     "CompletedPageFetch",
@@ -980,9 +1215,12 @@ __all__ = [
     "MemoryPageStore",
     "FilePageStore",
     "SQLitePageStore",
+    "canonical_backend",
     "create_page_store",
+    "open_store",
     "default_storage_backend",
     "STORAGE_BACKENDS",
+    "REMOTE_BACKINGS",
     "STORAGE_ENV_VAR",
     "DEFAULT_SLOT_SIZE",
 ]

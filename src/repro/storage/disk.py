@@ -34,6 +34,21 @@ from repro.storage.prefetch import PrefetchScheduler, PrefetchStats
 #: Default page size in bytes (the paper uses 1 KB pages).
 PAGE_SIZE_DEFAULT = 1024
 
+#: StorageStats fields that are per-handle transport *counters* — the ones
+#: worker snapshots contribute to the parent's report.  Gauges (``pages``,
+#: ``file_bytes``) describe the one shared store and are never summed.
+_WORKER_COUNTER_FIELDS = (
+    "bytes_read",
+    "bytes_written",
+    "bytes_prefetched",
+    "pages_prefetched",
+    "prefetch_hits",
+    "prefetch_wasted",
+    "sync_fetches",
+    "stall_time",
+    "overlap_time",
+)
+
 
 class DiskManager:
     """A page store shared by every index participating in an experiment.
@@ -55,8 +70,10 @@ class DiskManager:
         allocation above the highest stored id.
     storage, storage_path:
         Convenience alternative to ``store``: a backend name
-        (``"memory" | "file" | "sqlite"``) and the backing path for the
-        serializing backends (``None`` = owned temporary file).
+        (``"memory" | "file" | "sqlite" | "remote"``, the last also as
+        ``remote+file`` / ``remote+sqlite``) and the backing path —
+        for the remote backend the page server's ``HOST:PORT`` address —
+        (``None`` = owned temporary file / spawned server).
     fetch_latency:
         Simulated per-page service latency in seconds.  Zero (the default)
         leaves physical fetches as fast as the backend; a positive value
@@ -105,6 +122,8 @@ class DiskManager:
         self._fetch_clock = fetch_clock
         #: Lifetime stall/overlap/prefetch accounting (scheduler-backed).
         self._prefetch_stats = PrefetchStats()
+        #: Absorbed worker-side transport totals (see absorb_worker_storage).
+        self._worker_storage: Dict[str, Any] = {}
         self._prefetcher: Optional[PrefetchScheduler] = None
         if fetch_latency > 0:
             # Stall accounting applies to every physical fetch, prefetched
@@ -212,12 +231,13 @@ class DiskManager:
 
     @property
     def storage_backend(self) -> str:
-        """Name of the page-store backend (``memory``/``file``/``sqlite``)."""
+        """Name of the page-store backend (``memory``/``file``/``sqlite``/``remote``)."""
         return self.store.name
 
     def storage_stats(self) -> StorageStats:
         """Physical byte movement of the backend (zero for ``memory``),
-        including the lifetime prefetch/stall accounting."""
+        including the lifetime prefetch/stall accounting and any absorbed
+        worker-side transport totals."""
         stats = self.store.stats()
         prefetch = self._prefetch_stats
         stats.pages_prefetched = prefetch.pages_prefetched
@@ -226,7 +246,37 @@ class DiskManager:
         stats.sync_fetches = prefetch.sync_fetches
         stats.stall_time = prefetch.stall_time
         stats.overlap_time = prefetch.overlap_time
+        worker = self._worker_storage
+        if worker:
+            for field in _WORKER_COUNTER_FIELDS:
+                setattr(stats, field, getattr(stats, field) + worker.get(field, 0))
+            stats.extra["worker_bytes_read"] = int(worker.get("bytes_read", 0))
+            stats.extra["worker_bytes_prefetched"] = int(
+                worker.get("bytes_prefetched", 0)
+            )
+            stats.extra["worker_snapshots"] = int(worker.get("snapshots", 0))
         return stats
+
+    def absorb_worker_storage(self, snapshots) -> None:
+        """Fold worker-side transport counters into ``storage_stats()``.
+
+        ``snapshots`` is one cumulative :class:`StorageStats`-shaped dict
+        per worker handle (fork worker or node process), as collected by
+        the executors.  Each run's totals are absorbed exactly once —
+        executors de-duplicate retried units by keeping only the *latest*
+        cumulative snapshot per worker, so retry and quarantine paths never
+        double-count (a quarantined worker's last snapshot still reports
+        the traffic it really caused).  Totals accumulate across runs,
+        matching the lifetime semantics of every other disk counter.
+        """
+        for snapshot in snapshots:
+            for field in _WORKER_COUNTER_FIELDS:
+                self._worker_storage[field] = self._worker_storage.get(
+                    field, 0
+                ) + snapshot.get(field, 0)
+            self._worker_storage["snapshots"] = (
+                self._worker_storage.get("snapshots", 0) + 1
+            )
 
     # ------------------------------------------------------------------
     # prefetching

@@ -400,7 +400,7 @@ class TestDistributedExecutor:
     def test_rejects_memory_backend(self):
         workload = fresh_workload(POINTS_P[:30], POINTS_Q[:30], storage="memory")
         try:
-            with pytest.raises(ValueError, match="on-disk shared backend"):
+            with pytest.raises(ValueError, match="shared backend"):
                 execute_distributed(DistributedExecutor(nodes=2), workload)
         finally:
             workload.close()

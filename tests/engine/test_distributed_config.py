@@ -1,0 +1,175 @@
+"""DistributedConfig: the nested distributed knobs and their legacy shims.
+
+PR 10 collapsed the flat EngineConfig distributed knobs (``nodes``,
+``node_timeout``, ``node_retries``, ``node_min_ready``, ``fault_plan``,
+``cell_cache`` stays engine-wide) into a nested :class:`DistributedConfig`.
+The flat kwargs and CLI flags keep working as deprecation shims; these
+tests pin that contract so a future cleanup cannot silently break callers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.config import DistributedConfig, EngineConfig
+
+
+class TestNestedDefaults:
+    def test_defaults_match_legacy_flat_defaults(self):
+        config = EngineConfig()
+        dist = config.distributed
+        assert dist == DistributedConfig()
+        assert (dist.nodes, dist.node_timeout, dist.node_retries) == (2, 60.0, 2)
+        assert dist.min_ready is None
+        assert dist.fault_plan is None
+        assert dist.stage_hints is None
+
+    def test_validation_lives_on_the_nested_config(self):
+        with pytest.raises(ValueError, match="nodes must be at least 1"):
+            DistributedConfig(nodes=0)
+        with pytest.raises(ValueError, match="node_timeout must be positive"):
+            DistributedConfig(node_timeout=0)
+        with pytest.raises(ValueError, match="node_retries must be >= 0"):
+            DistributedConfig(node_retries=-1)
+        with pytest.raises(ValueError, match="node_min_ready must be at least 1"):
+            DistributedConfig(min_ready=0)
+
+
+class TestLegacyShims:
+    """Flat kwargs still work — they populate the nested config."""
+
+    def test_flat_kwargs_build_the_nested_config(self):
+        config = EngineConfig(
+            executor="distributed",
+            nodes=5,
+            node_timeout=9.5,
+            node_retries=0,
+            node_min_ready=3,
+            fault_plan="crash@node-1:after=2",
+        )
+        dist = config.distributed
+        assert dist.nodes == 5
+        assert dist.node_timeout == 9.5
+        assert dist.node_retries == 0
+        assert dist.min_ready == 3
+        assert dist.fault_plan == "crash@node-1:after=2"
+
+    def test_flat_validation_still_fails_loudly(self):
+        with pytest.raises(ValueError, match="nodes must be at least 1"):
+            EngineConfig(nodes=0)
+        with pytest.raises(ValueError, match="node_timeout must be positive"):
+            EngineConfig(node_timeout=-1)
+
+    def test_nested_config_syncs_the_flat_mirrors(self):
+        config = EngineConfig(distributed=DistributedConfig(nodes=7, node_retries=1))
+        assert config.nodes == 7
+        assert config.node_retries == 1
+
+    def test_conflicting_flat_and_nested_values_raise(self):
+        with pytest.raises(ValueError, match="conflicting distributed settings"):
+            EngineConfig(nodes=3, distributed=DistributedConfig(nodes=4))
+
+    def test_agreeing_flat_and_nested_values_are_fine(self):
+        config = EngineConfig(nodes=4, distributed=DistributedConfig(nodes=4))
+        assert config.distributed.nodes == 4
+
+    def test_replace_with_flat_override_keeps_nested_extras(self):
+        base = EngineConfig(
+            distributed=DistributedConfig(nodes=2, stage_hints=True)
+        )
+        bumped = base.replace(nodes=6)
+        assert bumped.distributed.nodes == 6
+        assert bumped.distributed.stage_hints is True
+        assert bumped.nodes == 6
+
+    def test_replace_with_nested_override_wins(self):
+        base = EngineConfig(nodes=3)
+        swapped = base.replace(distributed=DistributedConfig(nodes=8))
+        assert swapped.nodes == 8
+        assert swapped.distributed.nodes == 8
+
+
+class TestExecutorWiring:
+    def test_executor_for_reads_the_nested_config(self):
+        from repro.engine.executors import executor_for
+
+        executor = executor_for(
+            EngineConfig(
+                executor="distributed",
+                distributed=DistributedConfig(
+                    nodes=4, node_timeout=12.0, node_retries=1, stage_hints=True
+                ),
+            )
+        )
+        assert executor.nodes == 4
+        assert executor.node_timeout == 12.0
+        assert executor.node_retries == 1
+        assert executor.stage_hints is True
+
+
+class TestWorkerSnapshotExactlyOnce:
+    """Cumulative worker transport snapshots are absorbed exactly once.
+
+    Workers ship *cumulative* ``storage_stats()`` snapshots with a per-
+    worker sequence number; the executor keeps only the highest-seq
+    snapshot per worker, so retried units and quarantined nodes cannot
+    double-count bytes.
+    """
+
+    @staticmethod
+    def _result(worker, seq, bytes_read):
+        from repro.engine.executors import ShardResult
+        from repro.join.conditional_filter import FilterStats
+        from repro.join.result import JoinStats
+        from repro.storage.counters import IOCounters
+        from repro.voronoi.single import CellComputationStats
+
+        return ShardResult(
+            index=0,
+            pairs=[],
+            stats=JoinStats(algorithm="nm"),
+            cell_stats=CellComputationStats(),
+            filter_stats=FilterStats(),
+            counters=IOCounters(),
+            storage={
+                "worker": worker,
+                "seq": seq,
+                "stats": {"bytes_read": bytes_read, "pages": 5},
+            },
+        )
+
+    def test_latest_cumulative_snapshot_wins(self):
+        import threading
+
+        from repro.engine.executors import collect_worker_snapshot
+
+        snapshots, lock = {}, threading.Lock()
+        # node-0 serves three units; each snapshot is cumulative.
+        for seq, total in ((1, 100), (2, 250), (3, 260)):
+            collect_worker_snapshot(snapshots, lock, self._result("node-0", seq, total))
+        # A stale retry result delivered late must not regress the total.
+        collect_worker_snapshot(snapshots, lock, self._result("node-0", 2, 250))
+        collect_worker_snapshot(snapshots, lock, self._result("node-1", 1, 40))
+        assert snapshots["node-0"] == (3, {"bytes_read": 260, "pages": 5})
+        assert snapshots["node-1"] == (1, {"bytes_read": 40, "pages": 5})
+
+    def test_absorb_accumulates_counters_but_never_gauges(self):
+        from repro.storage.disk import DiskManager
+
+        disk = DiskManager(buffer_pages=2)
+        try:
+            disk.absorb_worker_storage(
+                [
+                    {"bytes_read": 260, "bytes_prefetched": 30, "pages": 5},
+                    {"bytes_read": 40, "bytes_prefetched": 0, "pages": 5},
+                ]
+            )
+            stats = disk.storage_stats()
+            assert stats.extra["worker_bytes_read"] == 300
+            assert stats.extra["worker_bytes_prefetched"] == 30
+            assert stats.extra["worker_snapshots"] == 2
+            # Gauges (pages/file_bytes) describe the shared store, not
+            # worker traffic: absorbing snapshots must not inflate them.
+            assert stats.pages == 0
+        finally:
+            disk.close()

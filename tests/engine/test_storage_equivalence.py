@@ -21,8 +21,9 @@ from repro.storage.backends import STORAGE_BACKENDS
 POINTS_P = uniform_points(240, seed=3)
 POINTS_Q = uniform_points(210, seed=11)
 
-#: Backends a node subprocess can reopen (the distributed tier's domain).
-ON_DISK_BACKENDS = ("file", "sqlite")
+#: Backends a node subprocess can reopen (the distributed tier's domain):
+#: shared files, shared databases, and the remote page server.
+SHARED_BACKENDS = ("file", "sqlite", "remote+file")
 
 
 def stats_fingerprint(result: CIJResult) -> dict:
@@ -113,11 +114,12 @@ class TestDistributedEquivalence:
     subprocesses that reopen the shared on-disk backend read-only; the
     coordinator merges results in unit index order, so pairs, ``JoinStats``
     and the deterministic counters must be byte-identical to the serial
-    run on both backends the tier supports — including the REUSE-handoff
-    pipeline, which the distributed executor chains by default.
+    run on every shared backend the tier supports — the remote page server
+    included — and with the REUSE-handoff pipeline, which the distributed
+    executor chains by default.
     """
 
-    @pytest.mark.parametrize("backend", ON_DISK_BACKENDS)
+    @pytest.mark.parametrize("backend", SHARED_BACKENDS)
     def test_distributed_fm_stats_identical_to_serial(self, backend):
         """FM partitions carry no cross-unit state, so the full
         fingerprint — progress curve included — matches serial."""
@@ -127,7 +129,7 @@ class TestDistributedEquivalence:
         assert stats_fingerprint(distributed) == stats_fingerprint(serial)
 
     @pytest.mark.parametrize("algorithm", ["nm", "pm"])
-    @pytest.mark.parametrize("backend", ON_DISK_BACKENDS)
+    @pytest.mark.parametrize("backend", SHARED_BACKENDS)
     def test_distributed_scalar_counters_identical_to_serial(
         self, backend, algorithm
     ):
@@ -150,7 +152,7 @@ class TestDistributedEquivalence:
             s.pairs_reported for s in serial.stats.progress
         ]
 
-    @pytest.mark.parametrize("backend", ON_DISK_BACKENDS)
+    @pytest.mark.parametrize("backend", SHARED_BACKENDS)
     def test_distributed_nm_matches_sharded_pipeline_bytes(self, backend):
         """Node subprocesses and the inline pool run the same chained unit
         pipeline, so the full merged fingerprint agrees between them."""
@@ -167,8 +169,87 @@ class TestDistributedEquivalence:
         assert stats_fingerprint(distributed) == stats_fingerprint(sharded)
 
     def test_distributed_rejects_memory_backend(self):
-        with pytest.raises(ValueError, match="on-disk shared backend"):
+        with pytest.raises(ValueError, match="shared backend"):
             run_on("memory", "nm", executor="distributed", nodes=2)
+
+
+class TestRemoteStaging:
+    """Prefetch over the wire: stage hints ride along with assignments.
+
+    Over the remote page server the distributed executor piggybacks the
+    coordinator's pending-unit lookahead on every assignment; nodes plan
+    the upcoming units' opening pages themselves and issue one batched
+    fetch that overlaps the current unit's computation.  Staging is
+    physical-transport-only — it must be visible in ``storage_stats()``
+    and invisible in the logical output.
+    """
+
+    def test_staging_visible_in_storage_stats_and_logically_invisible(self):
+        serial = run_on("remote+file", "nm")
+        distributed = run_on("remote+file", "nm", executor="distributed", nodes=2)
+        assert distributed.pairs == serial.pairs
+        serial_fp = stats_fingerprint(serial)
+        distributed_fp = stats_fingerprint(distributed)
+        serial_fp.pop("progress"), distributed_fp.pop("progress")
+        assert distributed_fp == serial_fp
+        # The nodes really staged pages ahead of demand over the wire,
+        # and their absorbed snapshots expose the wins.
+        io = distributed.storage
+        assert io.pages_prefetched > 0
+        assert io.prefetch_hits > 0
+        assert io.extra["worker_snapshots"] >= 1
+        assert io.extra["worker_bytes_prefetched"] > 0
+        # Serial never stages (no assignments to piggyback on).
+        assert serial.storage.pages_prefetched == 0
+
+    def test_local_shared_backends_do_not_stage_by_default(self):
+        """Stage-hints auto: on for remote transports only — local file/
+        sqlite nodes read at memory-bus speed and skip the machinery."""
+        distributed = run_on("file", "nm", executor="distributed", nodes=2)
+        assert distributed.storage.pages_prefetched == 0
+
+    def test_stage_hints_opt_in_on_local_backend(self):
+        from repro.engine.config import DistributedConfig
+
+        serial = run_on("file", "nm")
+        staged = run_on(
+            "file",
+            "nm",
+            executor="distributed",
+            distributed=DistributedConfig(nodes=2, stage_hints=True),
+        )
+        assert staged.pairs == serial.pairs
+        assert staged.storage.pages_prefetched > 0
+
+    def test_server_killed_mid_run_fails_loudly(self):
+        """Losing the page server must surface as a loud error — from the
+        parent's own connection or as exhausted node failures — never as a
+        silently wrong (or empty) result."""
+        from repro.datasets.workload import WorkloadConfig, build_workload
+        from repro.storage.pageserver import PageServerError, spawn_page_server
+
+        server = spawn_page_server(backing="file")
+        try:
+            config = WorkloadConfig(
+                storage="remote",
+                storage_path=f"{server.host}:{server.port}",
+            )
+            with build_workload(
+                config, points_p=POINTS_P[:80], points_q=POINTS_Q[:80]
+            ) as workload:
+                server.process.kill()
+                server.process.wait(timeout=10)
+                with pytest.raises((PageServerError, RuntimeError)):
+                    default_engine().run(
+                        "nm",
+                        workload.tree_p,
+                        workload.tree_q,
+                        domain=workload.domain,
+                        executor="distributed",
+                        nodes=2,
+                    )
+        finally:
+            server.stop()
 
 
 class TestSkewedWorkloadScheduling:

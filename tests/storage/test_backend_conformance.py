@@ -1,9 +1,10 @@
 """Backend-conformance suite: every PageStore behaves like the memory one.
 
-One parametrized fixture runs the same scenarios over the memory, file and
-SQLite backends: page round-trips, freeing, LRU hit/miss accounting, buffer
-resizing and counter totals must be indistinguishable across backends —
-only the physical byte movement (``storage_stats``) may differ.
+One parametrized fixture runs the same scenarios over the memory, file,
+SQLite and remote (page-server) backends: page round-trips, freeing, LRU
+hit/miss accounting, buffer resizing and counter totals must be
+indistinguishable across backends — only the physical byte movement
+(``storage_stats``) may differ.
 """
 
 from __future__ import annotations
@@ -17,8 +18,11 @@ from repro.index.entries import BranchEntry, LeafEntry, Node
 from repro.storage.backends import (
     STORAGE_BACKENDS,
     FilePageStore,
+    PageStore,
+    PageStoreBase,
     SQLitePageStore,
     create_page_store,
+    open_store,
 )
 from repro.storage.disk import DiskManager
 from repro.voronoi.cell import VoronoiCell
@@ -369,3 +373,129 @@ class TestFileStoreSpecifics:
         assert os.path.exists(path)
         store.close()
         assert not os.path.exists(path)
+
+
+class TestCapabilityContract:
+    """Every backend satisfies the PageStore protocol and states its
+    capabilities honestly (the factory and executors gate on these flags,
+    never on backend-name strings)."""
+
+    EXPECTED_FLAGS = {
+        # backend: (supports_async, supports_worker_reopen, supports_remote)
+        "memory": (False, True, False),
+        "file": (True, True, False),
+        "sqlite": (True, True, False),
+        "remote": (True, True, True),
+    }
+
+    def test_every_backend_satisfies_the_protocol(self, backend):
+        store = create_page_store(backend)
+        try:
+            assert isinstance(store, PageStore)
+            assert isinstance(store, PageStoreBase)
+            assert store.name == backend
+            flags = (
+                store.supports_async,
+                store.supports_worker_reopen,
+                store.supports_remote,
+            )
+            assert flags == self.EXPECTED_FLAGS[backend]
+        finally:
+            store.close()
+
+    def test_worker_spec_round_trips_through_factory(self, backend):
+        store = create_page_store(backend)
+        try:
+            if store.location is None:
+                with pytest.raises(ValueError, match="no shareable location"):
+                    store.worker_spec()
+                return
+            spec = store.worker_spec()
+            assert spec["backend"] == backend
+            store.write_page(1, "RP", {"shared": True}, 1024)
+            twin = create_page_store(spec["backend"], spec["path"])
+            try:
+                twin.reopen_in_worker()
+                assert twin.read_page(1).payload == {"shared": True}
+            finally:
+                twin.close()
+        finally:
+            store.close()
+
+    def test_open_store_parses_spec_strings(self, tmp_path):
+        path = str(tmp_path / "spec.sqlite")
+        store = open_store(f"sqlite:{path}")
+        try:
+            assert store.name == "sqlite"
+            assert store.location == path
+        finally:
+            store.close()
+        memory = open_store("memory")
+        assert memory.name == "memory"
+        # A live store passes through untouched.
+        assert open_store(memory) is memory
+        memory.close()
+        with pytest.raises(ValueError, match="unknown storage backend"):
+            open_store("carbonite")
+
+
+class TestRemotePageServer:
+    """Remote-specific behaviour on top of the shared conformance runs."""
+
+    def test_remote_sqlite_backing_round_trip(self):
+        disk = DiskManager(buffer_pages=2, storage="remote+sqlite")
+        try:
+            assert disk.storage_backend == "remote"
+            assert disk.store.stats().extra["backend"] == "sqlite"
+            page = disk.allocate("RP", make_leaf_node())
+            disk.buffer.clear()
+            assert [e.oid for e in disk.read(page).entries] == [7, 9]
+        finally:
+            disk.close()
+
+    def test_two_clients_share_one_server(self):
+        from repro.storage.pageserver import RemotePageStore, spawn_page_server
+
+        server = spawn_page_server(backing="file")
+        try:
+            writer = RemotePageStore(address=f"{server.host}:{server.port}")
+            reader = RemotePageStore(address=f"{server.host}:{server.port}")
+            try:
+                writer.write_page(7, "RP", {"via": "tcp"}, 1024)
+                assert reader.read_page(7).payload == {"via": "tcp"}
+                # Physical transport is per-client, not global.
+                assert reader.stats().extra["owns_server"] is False
+            finally:
+                writer.close()
+                reader.close()
+        finally:
+            server.stop()
+
+    def test_server_killed_mid_run_fails_loudly(self):
+        from repro.storage.pageserver import PageServerError, RemotePageStore
+
+        store = RemotePageStore(backing="file")
+        store.write_page(1, "RP", "still there?", 1024)
+        try:
+            store._server.process.kill()
+            store._server.process.wait(timeout=10)
+            with pytest.raises(PageServerError, match="page server"):
+                store.read_page(1)
+        finally:
+            store.close()
+
+    def test_batched_fetch_async_matches_read_page(self):
+        from repro.storage.pageserver import RemotePageStore
+
+        store = RemotePageStore(backing="file")
+        try:
+            for i in range(10):
+                store.write_page(i, "RP", {"i": i}, 1024)
+            records = store.fetch_async(list(range(10))).result()
+            assert sorted(records) == list(range(10))
+            assert all(records[i].payload == {"i": i} for i in range(10))
+            stats = store.stats()
+            assert stats.extra["batch_rpcs"] == 1
+            assert stats.bytes_prefetched > 0
+        finally:
+            store.close()

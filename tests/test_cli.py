@@ -287,7 +287,16 @@ class TestDistributedFlags:
         assert main([
             "join", "--n-p", "30", "--n-q", "20", "--executor", "distributed",
         ]) == 2
-        assert "on-disk shared backend" in capsys.readouterr().err
+        assert "shared backend" in capsys.readouterr().err
+
+    def test_unreachable_page_server_reports_error(self, capsys):
+        # Port 1 is never a live page server: the connection failure is an
+        # operator error (wrong address / server down), not a traceback.
+        assert main([
+            "join", "--n-p", "30", "--n-q", "20",
+            "--page-server", "127.0.0.1:1",
+        ]) == 2
+        assert "could not reach the page server" in capsys.readouterr().err
 
 
 class TestFaultToleranceFlags:
